@@ -1,0 +1,136 @@
+// Package bitwidth computes the bit-field layout used throughout the
+// simulator: how many bits are needed for node IDs, edge numbers and
+// composite (unique) edge weights, as a function of the network size n and
+// the maximum raw weight u.
+//
+// The paper (§2 "Definitions") builds unique edge weights by concatenating
+// the raw weight in front of the edge number, where the edge number is the
+// concatenation of the two endpoint IDs, smallest first. All three widths
+// are O(log(n+u)) bits, which is also the CONGEST message budget.
+package bitwidth
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Layout describes the bit-field layout for a network with a given size and
+// weight range. The zero value is not valid; use New.
+type Layout struct {
+	// IDBits is the number of bits of a node ID after Karp-Rabin
+	// fingerprinting into a polynomial ID space.
+	IDBits int
+	// EdgeNumBits is the number of bits of an edge number
+	// (two IDs concatenated, smallest first).
+	EdgeNumBits int
+	// RawWeightBits is the number of bits of a raw edge weight in [1,u].
+	RawWeightBits int
+	// CompositeBits is the number of bits of a composite unique weight
+	// (raw weight concatenated in front of the edge number).
+	CompositeBits int
+	// MessageBudget is the maximum number of bits a single CONGEST
+	// message may carry. The simulator fixes the model word size at
+	// w = 64 = Theta(log(n+u)) for every size it can represent (the
+	// paper notes the odd hash "is particularly efficient if
+	// w in {8,32,64}"), and a message is O(1) words.
+	MessageBudget int
+}
+
+// WordBits is the model word size w. Every quantity the algorithms ship
+// (IDs, edge numbers, composite weights, hash descriptions, Z_p values)
+// fits in O(1) words of this size.
+const WordBits = 64
+
+// budgetWords is the number of w-bit words a single message may carry. The
+// largest message any protocol sends is a FindMin broadcast: one odd hash
+// (2 words) + an interval (2 words) + framing, comfortably within 8 words.
+const budgetWords = 8
+
+// MaxSupportedIDBits bounds the ID width so that an edge number (two IDs)
+// fits in a uint64 with room to spare for Z_p arithmetic (p < 2^61).
+const MaxSupportedIDBits = 30
+
+// New computes the layout for a network of at most n nodes whose raw edge
+// weights lie in [1, u]. It returns an error if the requested sizes
+// overflow the 64-bit words the simulator uses.
+func New(n int, u uint64) (Layout, error) {
+	if n < 2 {
+		return Layout{}, fmt.Errorf("bitwidth: need at least 2 nodes, got %d", n)
+	}
+	if u < 1 {
+		return Layout{}, fmt.Errorf("bitwidth: max weight must be >= 1, got %d", u)
+	}
+	idBits := bits.Len(uint(n)) // IDs are fingerprinted into [1, ~n]
+	if idBits < 1 {
+		idBits = 1
+	}
+	if idBits > MaxSupportedIDBits {
+		return Layout{}, fmt.Errorf("bitwidth: %d nodes needs %d ID bits, max supported is %d", n, idBits, MaxSupportedIDBits)
+	}
+	edgeBits := 2 * idBits
+	rawBits := bits.Len64(u)
+	comp := rawBits + edgeBits
+	if comp > 63 {
+		return Layout{}, fmt.Errorf("bitwidth: composite weight needs %d bits (raw %d + edge %d), max 63", comp, rawBits, edgeBits)
+	}
+	return Layout{
+		IDBits:        idBits,
+		EdgeNumBits:   edgeBits,
+		RawWeightBits: rawBits,
+		CompositeBits: comp,
+		MessageBudget: budgetWords * WordBits,
+	}, nil
+}
+
+// MustNew is New but panics on error; for use with compile-time-known sizes
+// in tests and examples.
+func MustNew(n int, u uint64) Layout {
+	l, err := New(n, u)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// EdgeNum packs the two endpoint IDs into an edge number, smallest first
+// (in the high bits, per the paper's "concatenation ... smallest first").
+func (l Layout) EdgeNum(a, b uint32) uint64 {
+	if a == b {
+		panic("bitwidth: self-loop has no edge number")
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return uint64(lo)<<uint(l.IDBits) | uint64(hi)
+}
+
+// SplitEdgeNum recovers the two endpoint IDs (smallest first) from an edge
+// number produced by EdgeNum.
+func (l Layout) SplitEdgeNum(e uint64) (lo, hi uint32) {
+	mask := uint64(1)<<uint(l.IDBits) - 1
+	return uint32(e >> uint(l.IDBits)), uint32(e & mask)
+}
+
+// Composite builds the unique composite weight: raw weight in the high
+// bits, edge number in the low bits. Distinct edges always get distinct
+// composites, and comparing composites compares raw weights first.
+func (l Layout) Composite(raw uint64, edgeNum uint64) uint64 {
+	return raw<<uint(l.EdgeNumBits) | edgeNum
+}
+
+// SplitComposite recovers (raw weight, edge number) from a composite weight.
+func (l Layout) SplitComposite(c uint64) (raw, edgeNum uint64) {
+	mask := uint64(1)<<uint(l.EdgeNumBits) - 1
+	return c >> uint(l.EdgeNumBits), c & mask
+}
+
+// MaxEdgeNum is the largest representable edge number under this layout.
+func (l Layout) MaxEdgeNum() uint64 {
+	return uint64(1)<<uint(l.EdgeNumBits) - 1
+}
+
+// MaxComposite is the largest representable composite weight.
+func (l Layout) MaxComposite() uint64 {
+	return uint64(1)<<uint(l.CompositeBits) - 1
+}

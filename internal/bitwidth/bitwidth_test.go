@@ -1,0 +1,136 @@
+package bitwidth
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		u       uint64
+		wantErr bool
+	}{
+		{"minimal", 2, 1, false},
+		{"typical", 1024, 1 << 20, false},
+		{"one node", 1, 1, true},
+		{"zero weight bound", 4, 0, true},
+		{"huge n overflows", 1 << 31, 1, true},
+		{"composite overflow", 1 << 20, 1 << 40, true},
+		{"large but fits", 1 << 20, 1 << 20, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.n, tt.u)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New(%d, %d) error = %v, wantErr %v", tt.n, tt.u, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLayoutWidths(t *testing.T) {
+	l := MustNew(1000, 500)
+	if l.IDBits != 10 {
+		t.Errorf("IDBits = %d, want 10", l.IDBits)
+	}
+	if l.EdgeNumBits != 20 {
+		t.Errorf("EdgeNumBits = %d, want 20", l.EdgeNumBits)
+	}
+	if l.RawWeightBits != 9 {
+		t.Errorf("RawWeightBits = %d, want 9", l.RawWeightBits)
+	}
+	if l.CompositeBits != 29 {
+		t.Errorf("CompositeBits = %d, want 29", l.CompositeBits)
+	}
+	if l.MessageBudget != 512 {
+		t.Errorf("MessageBudget = %d, want 512", l.MessageBudget)
+	}
+}
+
+func TestEdgeNumOrdering(t *testing.T) {
+	l := MustNew(100, 10)
+	if l.EdgeNum(3, 7) != l.EdgeNum(7, 3) {
+		t.Error("edge number must be direction-independent")
+	}
+	// smallest endpoint in the high bits: {1,2} < {1,3} < {2,3}
+	e12, e13, e23 := l.EdgeNum(1, 2), l.EdgeNum(1, 3), l.EdgeNum(2, 3)
+	if !(e12 < e13 && e13 < e23) {
+		t.Errorf("ordering broken: %d %d %d", e12, e13, e23)
+	}
+}
+
+func TestEdgeNumRoundTrip(t *testing.T) {
+	l := MustNew(1 << 16, 1<<10)
+	f := func(a, b uint16) bool {
+		if a == b {
+			return true
+		}
+		ua, ub := uint32(a)+1, uint32(b)+1
+		lo, hi := l.SplitEdgeNum(l.EdgeNum(ua, ub))
+		wantLo, wantHi := ua, ub
+		if wantLo > wantHi {
+			wantLo, wantHi = wantHi, wantLo
+		}
+		return lo == wantLo && hi == wantHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositeRoundTripAndOrder(t *testing.T) {
+	l := MustNew(1<<12, 1<<16)
+	f := func(rawA, rawB uint16, a1, b1, a2, b2 uint16) bool {
+		wa, wb := uint64(rawA)+1, uint64(rawB)+1
+		mk := func(a, b uint16) uint64 {
+			x, y := uint32(a%4095)+1, uint32(b%4095)+1
+			if x == y {
+				y = x%4095 + 1
+			}
+			return l.EdgeNum(x, y)
+		}
+		e1, e2 := mk(a1, b1), mk(a2, b2)
+		c1, c2 := l.Composite(wa, e1), l.Composite(wb, e2)
+		gw1, ge1 := l.SplitComposite(c1)
+		if gw1 != wa || ge1 != e1 {
+			return false
+		}
+		// composite order respects raw-weight order first
+		if wa < wb && c1 >= c2 {
+			return false
+		}
+		if wa > wb && c1 <= c2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositeDistinctForDistinctEdges(t *testing.T) {
+	l := MustNew(64, 4)
+	seen := make(map[uint64]bool)
+	for a := uint32(1); a <= 8; a++ {
+		for b := a + 1; b <= 8; b++ {
+			c := l.Composite(3, l.EdgeNum(a, b)) // same raw weight everywhere
+			if seen[c] {
+				t.Fatalf("composite collision for edge {%d,%d}", a, b)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	l := MustNew(10, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("EdgeNum(5,5) should panic")
+		}
+	}()
+	l.EdgeNum(5, 5)
+}

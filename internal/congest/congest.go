@@ -1,0 +1,505 @@
+// Package congest is the communications substrate: a message-level
+// simulator of the CONGEST model the paper runs in.
+//
+// A Network holds one NodeState per processor. Processors exchange
+// Messages only along existing links; every message is counted (count and
+// bits) and must fit the O(log(n+u)) budget — with the model word fixed at
+// w = 64 bits, a message is at most a constant number of words.
+//
+// Protocol logic comes in two forms:
+//
+//   - handlers: per-message automaton steps registered by Kind. A handler
+//     may read/write only the local state of the receiving node and send
+//     further messages. This is where broadcast-and-echo, leader election,
+//     probes etc. live (package tree and friends).
+//
+//   - drivers (Proc): the sequential program an initiating node runs, e.g.
+//     FindMin's narrowing loop. Drivers are goroutines scheduled
+//     cooperatively: at any instant either the engine or exactly one
+//     driver executes, so runs are deterministic for a fixed seed and free
+//     of data races by construction.
+//
+// Two schedulers implement the paper's two timing models: the synchronous
+// scheduler delivers in lockstep rounds (messages sent in round r arrive
+// in round r+1); the asynchronous scheduler delivers one message at a time
+// with seeded pseudo-random delays and per-link FIFO order.
+package congest
+
+import (
+	"fmt"
+	"sort"
+
+	"kkt/internal/bitwidth"
+	"kkt/internal/graph"
+	"kkt/internal/rng"
+)
+
+// NodeID identifies a processor; IDs are 1..n (compact, post-fingerprint).
+type NodeID uint32
+
+// SessionID identifies one protocol execution (one broadcast-and-echo, one
+// election wave, ...). Messages carry it so concurrent executions on
+// overlapping trees do not interfere.
+type SessionID uint64
+
+// FramingBits is charged on top of each message's declared payload for the
+// kind tag and session identifier: O(log n) bits, well within one word.
+const FramingBits = 48
+
+// Message is a single CONGEST message in flight.
+type Message struct {
+	From, To NodeID
+	Kind     string
+	Session  SessionID
+	// Bits is the payload size; FramingBits is added when charging.
+	Bits    int
+	Payload any
+
+	seq       uint64 // global send order, for deterministic tie-breaks
+	deliverAt int64  // async delivery time (sync: round number)
+}
+
+// HalfEdge is one endpoint's local view of an incident link: everything a
+// node knows under KT1 — the neighbour's ID, the weights, and its own mark.
+type HalfEdge struct {
+	Neighbor  NodeID
+	Raw       uint64 // raw weight in [1,u]
+	Composite uint64 // unique composite weight (raw . edgeNum)
+	EdgeNum   uint64 // paper's edge number (IDs concatenated, smallest first)
+	Marked    bool   // does this endpoint consider the edge a tree edge?
+}
+
+// NodeState is the entire local state of one processor. Protocol code
+// receives a *NodeState and must treat it as the only state it can touch —
+// that is the locality discipline of the model.
+type NodeState struct {
+	ID NodeID
+	// Edges lists incident links sorted by neighbour ID.
+	Edges []HalfEdge
+
+	index    map[NodeID]int    // neighbour -> position in Edges
+	sessions map[SessionID]any // per-protocol automaton state
+	staged   []stagedMark      // mark changes deferred to the next barrier
+}
+
+// stagedMark is a deferred mark change, applied at a synchronisation
+// barrier — the paper's "while waiting [for the phase to end], if any Add
+// Edge message is received over an edge, mark that edge" (Build MST step
+// d). Deferring keeps tree membership stable while other fragments'
+// broadcast-and-echoes are still in flight.
+type stagedMark struct {
+	neighbor NodeID
+	marked   bool
+}
+
+// EdgeTo returns the half-edge toward the given neighbour, or nil.
+func (ns *NodeState) EdgeTo(neighbor NodeID) *HalfEdge {
+	i, ok := ns.index[neighbor]
+	if !ok {
+		return nil
+	}
+	return &ns.Edges[i]
+}
+
+// SetMark sets this endpoint's mark on the edge toward neighbor. It
+// reports whether the edge exists.
+func (ns *NodeState) SetMark(neighbor NodeID, marked bool) bool {
+	he := ns.EdgeTo(neighbor)
+	if he == nil {
+		return false
+	}
+	he.Marked = marked
+	return true
+}
+
+// StageMark defers marking the edge toward neighbor until the next
+// barrier (ApplyStaged). The edge must exist when the change is applied;
+// staging for a vanished edge is dropped silently (the link was deleted
+// while the instruction was in flight).
+func (ns *NodeState) StageMark(neighbor NodeID) {
+	ns.staged = append(ns.staged, stagedMark{neighbor: neighbor, marked: true})
+}
+
+// StageUnmark defers unmarking the edge toward neighbor.
+func (ns *NodeState) StageUnmark(neighbor NodeID) {
+	ns.staged = append(ns.staged, stagedMark{neighbor: neighbor, marked: false})
+}
+
+// ApplyStaged applies this node's deferred mark changes in order.
+func (ns *NodeState) ApplyStaged() {
+	for _, s := range ns.staged {
+		if he := ns.EdgeTo(s.neighbor); he != nil {
+			he.Marked = s.marked
+		}
+	}
+	ns.staged = nil
+}
+
+// MarkedNeighbors returns the IDs of neighbours joined by marked (tree)
+// edges, in ascending order.
+func (ns *NodeState) MarkedNeighbors() []NodeID {
+	var out []NodeID
+	for i := range ns.Edges {
+		if ns.Edges[i].Marked {
+			out = append(out, ns.Edges[i].Neighbor)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of incident links.
+func (ns *NodeState) Degree() int { return len(ns.Edges) }
+
+// SessionState returns the automaton state stored under sid, or nil.
+func (ns *NodeState) SessionState(sid SessionID) any { return ns.sessions[sid] }
+
+// SetSessionState stores automaton state under sid; nil deletes it.
+func (ns *NodeState) SetSessionState(sid SessionID, st any) {
+	if st == nil {
+		delete(ns.sessions, sid)
+		return
+	}
+	ns.sessions[sid] = st
+}
+
+// Handler processes one delivered message at the receiving node. It may
+// mutate the node's local state, send messages via nw.Send, and complete
+// sessions via nw.CompleteSession.
+type Handler func(nw *Network, node *NodeState, msg *Message)
+
+// session tracks one protocol execution and the driver (if any) waiting on
+// its completion.
+type session struct {
+	id        SessionID
+	completed bool
+	result    any
+	err       error
+	waiter    *Proc
+	// onQuiescence, if set, lets the session complete when the network
+	// goes quiescent (no messages in flight, no runnable drivers) — this
+	// is how "wait until maxTime" timeouts are modelled without wall
+	// clocks. It returns the result to complete with.
+	onQuiescence func() (any, error)
+}
+
+// Network is the simulator: topology, schedulers, counters, sessions and
+// drivers.
+type Network struct {
+	nodes  []*NodeState // index 1..n; index 0 nil
+	layout bitwidth.Layout
+	maxRaw uint64
+
+	sched    scheduler
+	counters Counters
+	handlers map[string]Handler
+
+	sessions    map[SessionID]*session
+	sessionIDs  []SessionID // insertion-ordered, for deterministic sweeps
+	nextSession SessionID
+	nextSeq     uint64
+
+	procs  []*Proc
+	runq   []wakeup
+	rng    *rng.RNG
+	budget int
+
+	running             bool
+	deadlockResolutions int
+}
+
+type wakeup struct {
+	p *Proc
+	w wake
+}
+
+type wake struct {
+	result any
+	err    error
+}
+
+// Option configures a Network.
+type Option func(*config)
+
+type config struct {
+	seed     uint64
+	async    bool
+	maxDelay int64
+}
+
+// WithSeed sets the engine's random seed (async delays; protocols draw
+// their own randomness from driver-visible RNGs).
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithAsync switches to the asynchronous scheduler with per-message delays
+// uniform in [1, maxDelay] (FIFO per link). The paper's repair algorithms
+// (Theorem 1.2) run in this mode.
+func WithAsync(maxDelay int64) Option {
+	return func(c *config) {
+		c.async = true
+		if maxDelay < 1 {
+			maxDelay = 1
+		}
+		c.maxDelay = maxDelay
+	}
+}
+
+// NewNetwork builds a network with one node per graph vertex and one link
+// per graph edge. No edges are marked; use SetForest or protocol runs to
+// mark.
+func NewNetwork(g *graph.Graph, opts ...Option) *Network {
+	cfg := config{seed: 1, maxDelay: 8}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	nw := &Network{
+		nodes:    make([]*NodeState, g.N+1),
+		layout:   g.Layout,
+		maxRaw:   g.MaxRaw,
+		handlers: make(map[string]Handler),
+		sessions: make(map[SessionID]*session),
+		rng:      rng.New(cfg.seed),
+		budget:   g.Layout.MessageBudget,
+	}
+	nw.counters.ByKind = make(map[string]KindCount)
+	for v := 1; v <= g.N; v++ {
+		nw.nodes[v] = &NodeState{
+			ID:       NodeID(v),
+			index:    make(map[NodeID]int),
+			sessions: make(map[SessionID]any),
+		}
+	}
+	for _, e := range g.Edges() {
+		nw.addHalf(NodeID(e.A), NodeID(e.B), e.Raw)
+		nw.addHalf(NodeID(e.B), NodeID(e.A), e.Raw)
+	}
+	if cfg.async {
+		nw.sched = newAsyncScheduler(nw.rng.Split(), cfg.maxDelay)
+	} else {
+		nw.sched = newSyncScheduler()
+	}
+	return nw
+}
+
+func (nw *Network) addHalf(at, to NodeID, raw uint64) {
+	ns := nw.nodes[at]
+	num := nw.layout.EdgeNum(uint32(at), uint32(to))
+	he := HalfEdge{
+		Neighbor:  to,
+		Raw:       raw,
+		Composite: nw.layout.Composite(raw, num),
+		EdgeNum:   num,
+	}
+	// keep Edges sorted by neighbour ID.
+	pos := sort.Search(len(ns.Edges), func(i int) bool { return ns.Edges[i].Neighbor >= to })
+	ns.Edges = append(ns.Edges, HalfEdge{})
+	copy(ns.Edges[pos+1:], ns.Edges[pos:])
+	ns.Edges[pos] = he
+	ns.index = make(map[NodeID]int, len(ns.Edges))
+	for i := range ns.Edges {
+		ns.index[ns.Edges[i].Neighbor] = i
+	}
+}
+
+func (nw *Network) removeHalf(at, to NodeID) bool {
+	ns := nw.nodes[at]
+	i, ok := ns.index[to]
+	if !ok {
+		return false
+	}
+	ns.Edges = append(ns.Edges[:i], ns.Edges[i+1:]...)
+	ns.index = make(map[NodeID]int, len(ns.Edges))
+	for j := range ns.Edges {
+		ns.index[ns.Edges[j].Neighbor] = j
+	}
+	return true
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.nodes) - 1 }
+
+// Layout returns the bit-field layout shared by all nodes.
+func (nw *Network) Layout() bitwidth.Layout { return nw.layout }
+
+// MaxRaw returns the raw-weight bound u.
+func (nw *Network) MaxRaw() uint64 { return nw.maxRaw }
+
+// Node returns the state of node v (1-based). Protocol code should only
+// use this for the node a handler or driver is acting as.
+func (nw *Network) Node(v NodeID) *NodeState { return nw.nodes[v] }
+
+// RegisterHandler installs the automaton step for a message kind. Kinds
+// are registered once at startup by each protocol package.
+func (nw *Network) RegisterHandler(kind string, h Handler) {
+	if _, dup := nw.handlers[kind]; dup {
+		panic(fmt.Sprintf("congest: duplicate handler for kind %q", kind))
+	}
+	nw.handlers[kind] = h
+}
+
+// HasHandler reports whether a handler for kind is installed.
+func (nw *Network) HasHandler(kind string) bool {
+	_, ok := nw.handlers[kind]
+	return ok
+}
+
+// Send queues a message from one node to a neighbouring node. It enforces
+// the model: the link must exist and the payload must fit the budget.
+// Every send is charged to the counters.
+func (nw *Network) Send(from, to NodeID, kind string, sid SessionID, bits int, payload any) {
+	if nw.nodes[from].EdgeTo(to) == nil {
+		panic(fmt.Sprintf("congest: %d -> %d: no such link (kind %q)", from, to, kind))
+	}
+	total := bits + FramingBits
+	if total > nw.budget {
+		panic(fmt.Sprintf("congest: message kind %q carries %d bits, budget is %d", kind, total, nw.budget))
+	}
+	if _, ok := nw.handlers[kind]; !ok {
+		panic(fmt.Sprintf("congest: no handler registered for kind %q", kind))
+	}
+	nw.nextSeq++
+	m := &Message{
+		From: from, To: to, Kind: kind, Session: sid,
+		Bits: bits, Payload: payload, seq: nw.nextSeq,
+	}
+	nw.counters.charge(kind, total)
+	nw.sched.schedule(m)
+}
+
+// NewSession allocates a session. onQuiescence may be nil.
+func (nw *Network) NewSession(onQuiescence func() (any, error)) SessionID {
+	nw.nextSession++
+	sid := nw.nextSession
+	nw.sessions[sid] = &session{id: sid, onQuiescence: onQuiescence}
+	nw.sessionIDs = append(nw.sessionIDs, sid)
+	return sid
+}
+
+// CompleteSession finishes a session with a result; the waiting driver (if
+// any) becomes runnable. Completing an already-complete session panics —
+// that is always a protocol bug.
+func (nw *Network) CompleteSession(sid SessionID, result any, err error) {
+	s, ok := nw.sessions[sid]
+	if !ok {
+		panic(fmt.Sprintf("congest: completing unknown session %d", sid))
+	}
+	if s.completed {
+		panic(fmt.Sprintf("congest: session %d completed twice", sid))
+	}
+	s.completed = true
+	s.result = result
+	s.err = err
+	s.onQuiescence = nil
+	if s.waiter != nil {
+		nw.runq = append(nw.runq, wakeup{p: s.waiter, w: wake{result: result, err: err}})
+		s.waiter = nil
+	}
+}
+
+// Counters returns a snapshot of the cost counters.
+func (nw *Network) Counters() Counters { return nw.counters.snapshot() }
+
+// Now returns the scheduler clock: the round number (sync) or virtual time
+// (async).
+func (nw *Network) Now() int64 { return nw.sched.now() }
+
+// Rand returns a sub-RNG for protocol use, split off the engine stream.
+func (nw *Network) Rand() *rng.RNG { return nw.rng.Split() }
+
+// --- topology mutation (the "environment": uncharged) ---
+
+// SetForest marks exactly the given edges (pairs of endpoints) on both
+// sides and unmarks everything else. Setup helper for tests/benchmarks;
+// models a network that already maintains a forest.
+func (nw *Network) SetForest(edges [][2]NodeID) {
+	for v := 1; v <= nw.N(); v++ {
+		ns := nw.nodes[v]
+		for i := range ns.Edges {
+			ns.Edges[i].Marked = false
+		}
+	}
+	for _, e := range edges {
+		if !nw.nodes[e[0]].SetMark(e[1], true) || !nw.nodes[e[1]].SetMark(e[0], true) {
+			panic(fmt.Sprintf("congest: SetForest: edge {%d,%d} does not exist", e[0], e[1]))
+		}
+	}
+}
+
+// MarkedEdges returns all properly marked edges as endpoint pairs (lower
+// ID first), asserting the both-endpoint invariant.
+func (nw *Network) MarkedEdges() [][2]NodeID {
+	var out [][2]NodeID
+	for v := 1; v <= nw.N(); v++ {
+		ns := nw.nodes[v]
+		for i := range ns.Edges {
+			he := &ns.Edges[i]
+			if he.Neighbor > ns.ID {
+				other := nw.nodes[he.Neighbor].EdgeTo(ns.ID)
+				if he.Marked != other.Marked {
+					panic(fmt.Sprintf("congest: edge {%d,%d} improperly marked (%v vs %v)",
+						ns.ID, he.Neighbor, he.Marked, other.Marked))
+				}
+				if he.Marked {
+					out = append(out, [2]NodeID{ns.ID, he.Neighbor})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ApplyStaged applies every node's deferred mark changes. Drivers call it
+// right after a barrier: the change is each node's local timeout action
+// and costs no messages.
+func (nw *Network) ApplyStaged() {
+	for v := 1; v <= nw.N(); v++ {
+		nw.nodes[v].ApplyStaged()
+	}
+}
+
+// DeleteLink removes the link {a,b} from both endpoints (an adversarial
+// topology change; not charged). It reports whether the link existed and
+// whether it was marked.
+func (nw *Network) DeleteLink(a, b NodeID) (existed, wasMarked bool) {
+	he := nw.nodes[a].EdgeTo(b)
+	if he == nil {
+		return false, false
+	}
+	wasMarked = he.Marked
+	nw.removeHalf(a, b)
+	nw.removeHalf(b, a)
+	return true, wasMarked
+}
+
+// InsertLink adds the link {a,b} with the given raw weight (unmarked).
+func (nw *Network) InsertLink(a, b NodeID, raw uint64) error {
+	if a == b {
+		return fmt.Errorf("congest: self-loop at %d", a)
+	}
+	if nw.nodes[a] == nil || nw.nodes[b] == nil {
+		return fmt.Errorf("congest: no such node in {%d,%d}", a, b)
+	}
+	if nw.nodes[a].EdgeTo(b) != nil {
+		return fmt.Errorf("congest: link {%d,%d} already exists", a, b)
+	}
+	if raw < 1 || raw > nw.maxRaw {
+		return fmt.Errorf("congest: raw weight %d outside [1,%d]", raw, nw.maxRaw)
+	}
+	nw.addHalf(a, b, raw)
+	nw.addHalf(b, a, raw)
+	return nil
+}
+
+// SetRawWeight changes the weight of link {a,b} at both endpoints.
+func (nw *Network) SetRawWeight(a, b NodeID, raw uint64) error {
+	if raw < 1 || raw > nw.maxRaw {
+		return fmt.Errorf("congest: raw weight %d outside [1,%d]", raw, nw.maxRaw)
+	}
+	ha, hb := nw.nodes[a].EdgeTo(b), nw.nodes[b].EdgeTo(a)
+	if ha == nil || hb == nil {
+		return fmt.Errorf("congest: link {%d,%d} does not exist", a, b)
+	}
+	ha.Raw, hb.Raw = raw, raw
+	comp := nw.layout.Composite(raw, ha.EdgeNum)
+	ha.Composite, hb.Composite = comp, comp
+	return nil
+}

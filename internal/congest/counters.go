@@ -1,0 +1,83 @@
+package congest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// KindCount is the message/bit tally for one message kind.
+type KindCount struct {
+	Messages uint64
+	Bits     uint64
+}
+
+// Counters is the cost ledger of a run: total messages and bits, broken
+// down by message kind. Time (rounds or virtual time) is read separately
+// from Network.Now, since it is a property of the schedule, not the
+// traffic.
+type Counters struct {
+	Messages uint64
+	Bits     uint64
+	ByKind   map[string]KindCount
+}
+
+func (c *Counters) charge(kind string, bits int) {
+	c.Messages++
+	c.Bits += uint64(bits)
+	kc := c.ByKind[kind]
+	kc.Messages++
+	kc.Bits += uint64(bits)
+	c.ByKind[kind] = kc
+}
+
+func (c *Counters) snapshot() Counters {
+	out := Counters{
+		Messages: c.Messages,
+		Bits:     c.Bits,
+		ByKind:   make(map[string]KindCount, len(c.ByKind)),
+	}
+	for k, v := range c.ByKind {
+		out.ByKind[k] = v
+	}
+	return out
+}
+
+// Sub returns the counters accumulated since the earlier snapshot.
+func (c Counters) Sub(earlier Counters) Counters {
+	out := Counters{
+		Messages: c.Messages - earlier.Messages,
+		Bits:     c.Bits - earlier.Bits,
+		ByKind:   make(map[string]KindCount, len(c.ByKind)),
+	}
+	for k, v := range c.ByKind {
+		e := earlier.ByKind[k]
+		d := KindCount{Messages: v.Messages - e.Messages, Bits: v.Bits - e.Bits}
+		if d.Messages != 0 || d.Bits != 0 {
+			out.ByKind[k] = d
+		}
+	}
+	return out
+}
+
+// String renders a sorted per-kind breakdown, largest message count first.
+func (c Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "messages=%d bits=%d", c.Messages, c.Bits)
+	kinds := make([]string, 0, len(c.ByKind))
+	for k := range c.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		ci, cj := c.ByKind[kinds[i]], c.ByKind[kinds[j]]
+		if ci.Messages != cj.Messages {
+			return ci.Messages > cj.Messages
+		}
+		return kinds[i] < kinds[j]
+	})
+	for _, k := range kinds {
+		kc := c.ByKind[k]
+		fmt.Fprintf(&b, "\n  %-18s msgs=%-10d bits=%d", k, kc.Messages, kc.Bits)
+	}
+	return b.String()
+}

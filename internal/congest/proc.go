@@ -1,0 +1,219 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned by Run when drivers are blocked, no messages are
+// in flight and no quiescence-completing session can fire — a protocol bug.
+var ErrDeadlock = errors.New("congest: deadlock: drivers blocked with no messages in flight")
+
+// Proc is the context of one driver: the sequential program an initiating
+// node runs (e.g. FindMin's narrowing loop, or the global Borůvka phase
+// controller). Its methods may only be called from within the driver's own
+// function; the engine guarantees that while they run, nothing else does.
+type Proc struct {
+	nw   *Network
+	name string
+
+	resume chan wake
+	yield  chan struct{}
+
+	doneSession SessionID
+	finished    bool
+	err         error
+	awaiting    SessionID // 0 when not blocked; diagnostic only
+}
+
+// Spawn registers a new driver. The function starts running at the next
+// scheduling opportunity inside Run. It must not be called while another
+// driver is active (spawn children with (*Proc).Go instead).
+func (nw *Network) Spawn(name string, fn func(*Proc) error) *Proc {
+	if nw.running {
+		panic("congest: Spawn called during Run; use (*Proc).Go from a driver")
+	}
+	return nw.spawn(name, fn)
+}
+
+func (nw *Network) spawn(name string, fn func(*Proc) error) *Proc {
+	p := &Proc{
+		nw:     nw,
+		name:   name,
+		resume: make(chan wake),
+		yield:  make(chan struct{}),
+	}
+	p.doneSession = nw.NewSession(nil)
+	nw.procs = append(nw.procs, p)
+	go func() {
+		<-p.resume // first activation by the engine
+		err := fn(p)
+		// Still the active driver here: safe to touch the network.
+		p.finished = true
+		p.err = err
+		p.nw.CompleteSession(p.doneSession, nil, err)
+		p.yield <- struct{}{}
+	}()
+	nw.runq = append(nw.runq, wakeup{p: p})
+	return p
+}
+
+// Name returns the driver's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Network returns the network the driver runs on.
+func (p *Proc) Network() *Network { return p.nw }
+
+// Await blocks the driver until the session completes and returns its
+// result. If the session is already complete it returns immediately.
+func (p *Proc) Await(sid SessionID) (any, error) {
+	s, ok := p.nw.sessions[sid]
+	if !ok {
+		return nil, fmt.Errorf("congest: await on unknown session %d", sid)
+	}
+	if s.completed {
+		return s.result, s.err
+	}
+	if s.waiter != nil {
+		return nil, fmt.Errorf("congest: session %d already has a waiter", sid)
+	}
+	s.waiter = p
+	p.awaiting = sid
+	p.yield <- struct{}{} // hand control back to the engine
+	w := <-p.resume       // engine wakes us with the completion
+	p.awaiting = 0
+	return w.result, w.err
+}
+
+// Go spawns a child driver. The child starts at the next scheduling
+// opportunity; the parent keeps running until it blocks or finishes.
+func (p *Proc) Go(name string, fn func(*Proc) error) *Proc {
+	return p.nw.spawn(name, fn)
+}
+
+// WaitAll blocks until every given driver has finished and returns the
+// first non-nil error among them (all are joined regardless).
+func (p *Proc) WaitAll(children ...*Proc) error {
+	var first error
+	for _, c := range children {
+		_, err := p.Await(c.doneSession)
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AwaitQuiescence blocks the driver until no messages are in flight and no
+// other driver can make progress. It models the paper's synchronised
+// "while time < i*maxTime(n) wait" phase barrier: in a synchronous network
+// every node knows a worst-case bound on a phase's duration, so waiting it
+// out costs no messages. The simulator waits for actual quiescence instead
+// of a round count, which is the same barrier without the slack.
+func (p *Proc) AwaitQuiescence() {
+	sid := p.nw.NewSession(func() (any, error) { return nil, nil })
+	_, _ = p.Await(sid)
+}
+
+// Err returns the driver's final error; valid after Run returns.
+func (p *Proc) Err() error { return p.err }
+
+// Run executes the network until all drivers have finished and no messages
+// remain. It returns the first driver error, or ErrDeadlock if progress
+// stops while drivers are still blocked.
+func (nw *Network) Run() error {
+	if nw.running {
+		panic("congest: Run is not reentrant")
+	}
+	nw.running = true
+	defer func() { nw.running = false }()
+
+	var deadlockErr error
+	for {
+		// 1. Run every runnable driver to its next block/finish.
+		for len(nw.runq) > 0 {
+			wu := nw.runq[0]
+			nw.runq = nw.runq[1:]
+			wu.p.resume <- wu.w
+			<-wu.p.yield
+		}
+		// 2. Deliver the next batch of messages.
+		if batch := nw.sched.nextBatch(); batch != nil {
+			for _, m := range batch {
+				h, ok := nw.handlers[m.Kind]
+				if !ok {
+					return fmt.Errorf("congest: no handler for kind %q", m.Kind)
+				}
+				node := nw.nodes[m.To]
+				if node.EdgeTo(m.From) == nil {
+					// The link vanished while the message was in
+					// flight (dynamic deletion). The model drops it.
+					continue
+				}
+				h(nw, node, m)
+			}
+			continue
+		}
+		// 3. Quiescent: fire any quiescence-completing sessions (in
+		// creation order) — the simulator's notion of "after maxTime".
+		fired := false
+		for _, sid := range nw.sessionIDs {
+			s := nw.sessions[sid]
+			if !s.completed && s.onQuiescence != nil {
+				f := s.onQuiescence
+				s.onQuiescence = nil
+				res, err := f()
+				nw.CompleteSession(sid, res, err)
+				fired = true
+			}
+		}
+		if fired {
+			continue
+		}
+		// 4. Done or deadlocked?
+		allDone := true
+		for _, p := range nw.procs {
+			if !p.finished {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			if deadlockErr != nil {
+				return deadlockErr
+			}
+			for _, p := range nw.procs {
+				if p.err != nil {
+					return p.err
+				}
+			}
+			return nil
+		}
+		// Deadlock: wake every blocked driver with an error so its
+		// goroutine can unwind, remember the diagnosis, and keep
+		// scheduling until everything exits.
+		nw.deadlockResolutions++
+		if nw.deadlockResolutions > maxDeadlockResolutions {
+			return fmt.Errorf("%w: drivers refused to unwind", ErrDeadlock)
+		}
+		var blocked []string
+		for _, p := range nw.procs {
+			if p.finished || p.awaiting == 0 {
+				continue
+			}
+			blocked = append(blocked, fmt.Sprintf("%s (awaiting session %d)", p.name, p.awaiting))
+			nw.CompleteSession(p.awaiting, nil, ErrDeadlock)
+		}
+		if deadlockErr == nil {
+			deadlockErr = fmt.Errorf("%w: %v", ErrDeadlock, blocked)
+		}
+		if len(blocked) == 0 {
+			// Unwakeable drivers (blocked outside Await) — impossible by
+			// construction, but do not spin.
+			return deadlockErr
+		}
+	}
+}
+
+// maxDeadlockResolutions bounds the unwind loop after a deadlock diagnosis.
+const maxDeadlockResolutions = 1 << 16

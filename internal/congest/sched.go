@@ -1,0 +1,110 @@
+package congest
+
+import (
+	"container/heap"
+
+	"kkt/internal/rng"
+)
+
+// scheduler abstracts the two timing models. schedule queues a sent
+// message; nextBatch removes and returns the next messages to deliver
+// (one synchronous round's worth, or a single asynchronous event);
+// empty reports whether anything is still in flight; now is the clock.
+type scheduler interface {
+	schedule(m *Message)
+	nextBatch() []*Message
+	empty() bool
+	now() int64
+}
+
+// syncScheduler delivers in lockstep rounds: everything sent during round
+// r is delivered together at round r+1, in send order (deterministic).
+type syncScheduler struct {
+	round   int64
+	pending []*Message
+}
+
+func newSyncScheduler() *syncScheduler { return &syncScheduler{} }
+
+func (s *syncScheduler) schedule(m *Message) {
+	m.deliverAt = s.round + 1
+	s.pending = append(s.pending, m)
+}
+
+func (s *syncScheduler) nextBatch() []*Message {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	s.round++
+	batch := s.pending
+	s.pending = nil
+	return batch
+}
+
+func (s *syncScheduler) empty() bool { return len(s.pending) == 0 }
+func (s *syncScheduler) now() int64  { return s.round }
+
+// asyncScheduler delivers one message at a time, ordered by a virtual
+// deliver time = send time + uniform delay in [1, maxDelay], with FIFO
+// order preserved per directed link (messages on one link never overtake).
+// Ties break by send sequence, so runs are deterministic per seed.
+type asyncScheduler struct {
+	clock    int64
+	maxDelay int64
+	r        *rng.RNG
+	q        messageHeap
+	lastOn   map[uint64]int64 // directed link key -> last scheduled deliverAt
+}
+
+func newAsyncScheduler(r *rng.RNG, maxDelay int64) *asyncScheduler {
+	return &asyncScheduler{maxDelay: maxDelay, r: r, lastOn: make(map[uint64]int64)}
+}
+
+func linkKey(from, to NodeID) uint64 { return uint64(from)<<32 | uint64(to) }
+
+func (s *asyncScheduler) schedule(m *Message) {
+	delay := 1 + int64(s.r.Uint64n(uint64(s.maxDelay)))
+	at := s.clock + delay
+	key := linkKey(m.From, m.To)
+	if last, ok := s.lastOn[key]; ok && at <= last {
+		at = last + 1 // FIFO per link
+	}
+	s.lastOn[key] = at
+	m.deliverAt = at
+	heap.Push(&s.q, m)
+}
+
+func (s *asyncScheduler) nextBatch() []*Message {
+	if s.q.Len() == 0 {
+		return nil
+	}
+	m := heap.Pop(&s.q).(*Message)
+	if m.deliverAt > s.clock {
+		s.clock = m.deliverAt
+	}
+	return []*Message{m}
+}
+
+func (s *asyncScheduler) empty() bool { return s.q.Len() == 0 }
+func (s *asyncScheduler) now() int64  { return s.clock }
+
+// messageHeap orders by (deliverAt, seq).
+type messageHeap []*Message
+
+func (h messageHeap) Len() int { return len(h) }
+func (h messageHeap) Less(i, j int) bool {
+	if h[i].deliverAt != h[j].deliverAt {
+		return h[i].deliverAt < h[j].deliverAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h messageHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *messageHeap) Push(x any)   { *h = append(*h, x.(*Message)) }
+func (h *messageHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return m
+}

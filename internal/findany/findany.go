@@ -1,0 +1,300 @@
+// Package findany implements the paper's FindAny and FindAny-C (§4.1):
+// find *some* edge leaving the tree containing a given root, in an
+// expected constant number of broadcast-and-echoes — a log n / log log n
+// factor cheaper than FindMin, which is what makes the unweighted (ST)
+// results cheaper than the MST ones.
+//
+// One attempt: broadcast a pairwise-independent hash h into [2^l]; every
+// node echoes, for each level i <= l, the parity of its incident edges
+// with h(edgeNum) < 2^i. Tree-internal edges cancel, so level i's
+// aggregate is the parity of cut edges hashing below 2^i. By Lemma 4,
+// with probability >= 1/16 some level isolates exactly one cut edge; the
+// XOR of edge numbers at the smallest firing level is then that edge's
+// number, which a final counting broadcast verifies (Sum of in-tree
+// endpoints == 1).
+package findany
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"kkt/internal/congest"
+	"kkt/internal/hashing"
+	"kkt/internal/rng"
+	"kkt/internal/sketch"
+	"kkt/internal/tree"
+)
+
+// Variant selects between the expected-cost and single-shot algorithms.
+type Variant int
+
+const (
+	// Full is FindAny: repeat attempts until one verifies, up to the
+	// 16·ln(1/eps) high-probability budget.
+	Full Variant = iota + 1
+	// Capped is FindAny-C: a single attempt after the HP-TestOut gate;
+	// succeeds with probability >= 1/16 - n^-c, otherwise returns
+	// EmptyResult ("no answer", never a wrong edge).
+	Capped
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Full:
+		return "FindAny"
+	case Capped:
+		return "FindAny-C"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Reason explains a Result.
+type Reason int
+
+const (
+	// FoundEdge: a cut edge was found and verified.
+	FoundEdge Reason = iota + 1
+	// EmptyCut: HP-TestOut certified (w.h.p.) there is no cut edge.
+	EmptyCut
+	// GaveUp: attempts exhausted without a verified edge.
+	GaveUp
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case FoundEdge:
+		return "found"
+	case EmptyCut:
+		return "empty-cut"
+	case GaveUp:
+		return "gave-up"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Config tunes a run.
+type Config struct {
+	// Variant selects FindAny or FindAny-C.
+	Variant Variant
+	// C is the error exponent: failure probability n^-C for Full.
+	C int
+}
+
+// Defaults returns the paper-faithful configuration.
+func Defaults(v Variant) Config { return Config{Variant: v, C: 2} }
+
+// Stats counts the work one run performed.
+type Stats struct {
+	Attempts int // isolation attempts (3 broadcast-and-echoes each)
+	HPTests  int
+}
+
+// Result is the outcome of FindAny.
+type Result struct {
+	Reason  Reason
+	EdgeNum uint64
+	A, B    congest.NodeID
+	Stats   Stats
+}
+
+// levelVecDown is the broadcast payload of the level-parity echo.
+type levelVecDown struct {
+	Hash hashing.PairwiseHash
+}
+
+// xorDown asks for the XOR of edge numbers hashing below 2^Min.
+type xorDown struct {
+	Hash hashing.PairwiseHash
+	Min  int
+}
+
+// countDown asks how many in-tree endpoints carry the candidate edge.
+type countDown struct {
+	EdgeNum uint64
+}
+
+// Run executes FindAny (or FindAny-C) from root over the marked tree
+// containing it. If it returns an edge, the edge certainly leaves the
+// tree (the counting test is exact); EmptyCut is w.h.p. correct.
+func Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, r *rng.RNG, cfg Config) (Result, error) {
+	if cfg.C < 1 {
+		cfg.C = 1
+	}
+	nw := p.Network()
+	n := float64(nw.N())
+
+	sv, err := sketch.RunSurvey(p, pr, root)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if sv.UnmarkedDegreeSum == 0 {
+		res.Reason = EmptyCut
+		return res, nil
+	}
+
+	// Step 2: HP-TestOut gate with error parameter eps(n) < 1/(2n^c).
+	eps := math.Pow(n, -float64(cfg.C)) / 2
+	reps := sketch.NumReps(eps, sv.DegreeSum)
+	full := sketch.Interval{Lo: 1, Hi: sv.MaxComposite}
+	res.Stats.HPTests++
+	leaving, err := sketch.HPTestOut(p, pr, root, sketch.DrawAlphas(r, reps), full)
+	if err != nil {
+		return res, err
+	}
+	if !leaving {
+		res.Reason = EmptyCut
+		return res, nil
+	}
+
+	// Hash range [2^l]: r_range a power of two strictly greater than
+	// twice the degree sum, so |W| <= DegreeSum < 2^(l-1) as Lemma 4
+	// requires.
+	l := bits.Len(uint(2 * sv.DegreeSum))
+	if l < 2 {
+		l = 2
+	}
+	if l > 63 {
+		l = 63
+	}
+
+	maxAttempts := 1
+	if cfg.Variant == Full {
+		maxAttempts = int(math.Ceil(16 * math.Log(1/eps)))
+		if maxAttempts < 1 {
+			maxAttempts = 1
+		}
+	}
+
+	for res.Stats.Attempts < maxAttempts {
+		res.Stats.Attempts++
+		h := hashing.NewPairwiseHash(r, l)
+		// Step 3b/c: level-parity vector.
+		vecAny, err := pr.BroadcastEcho(p, root, levelVecSpec(h, l))
+		if err != nil {
+			return res, err
+		}
+		vec := vecAny.(uint64)
+		if vec == 0 {
+			continue // no level has odd parity; resample
+		}
+		min := bits.TrailingZeros64(vec)
+		// Step 3d: XOR of edge numbers below 2^min.
+		wAny, err := pr.BroadcastEcho(p, root, xorSpec(h, min))
+		if err != nil {
+			return res, err
+		}
+		w := wAny.(uint64)
+		if w == 0 {
+			continue
+		}
+		// Step 4: Test — count in-tree endpoints of the candidate.
+		sumAny, err := pr.BroadcastEcho(p, root, countSpec(w))
+		if err != nil {
+			return res, err
+		}
+		if sumAny.(int) != 1 {
+			continue
+		}
+		a, b := nw.Layout().SplitEdgeNum(w)
+		res.Reason = FoundEdge
+		res.EdgeNum = w
+		res.A, res.B = congest.NodeID(a), congest.NodeID(b)
+		return res, nil
+	}
+	res.Reason = GaveUp
+	return res, nil
+}
+
+// levelVecSpec: echo bit i (0 <= i <= l) is the XOR over incident edges of
+// [h(edgeNum) < 2^i].
+func levelVecSpec(h hashing.PairwiseHash, l int) *tree.Spec {
+	down := levelVecDown{Hash: h}
+	return &tree.Spec{
+		Down:     down,
+		DownBits: h.Bits(),
+		UpBits:   l + 1,
+		Local: func(node *congest.NodeState, downAny any) any {
+			d := downAny.(levelVecDown)
+			var vec uint64
+			for i := range node.Edges {
+				level := d.Hash.PrefixLevel(node.Edges[i].EdgeNum)
+				// edge contributes to every bit at or above its level:
+				// [h(e) < 2^i] holds for all i >= level.
+				vec ^= ^uint64(0) << uint(level)
+			}
+			return vec & (uint64(1)<<uint(l+1) - 1)
+		},
+		Combine: func(node *congest.NodeState, down, local any, children []tree.ChildEcho) any {
+			vec := local.(uint64)
+			for _, c := range children {
+				vec ^= c.Value.(uint64)
+			}
+			return vec
+		},
+	}
+}
+
+// xorSpec: echo is the XOR of incident edge numbers with h(e) < 2^min.
+func xorSpec(h hashing.PairwiseHash, min int) *tree.Spec {
+	down := xorDown{Hash: h, Min: min}
+	return &tree.Spec{
+		Down:     down,
+		DownBits: h.Bits() + 8,
+		UpBits:   64,
+		Local: func(node *congest.NodeState, downAny any) any {
+			d := downAny.(xorDown)
+			bound := uint64(1) << uint(d.Min)
+			var x uint64
+			for i := range node.Edges {
+				if d.Hash.Hash(node.Edges[i].EdgeNum) < bound {
+					x ^= node.Edges[i].EdgeNum
+				}
+			}
+			return x
+		},
+		Combine: func(node *congest.NodeState, down, local any, children []tree.ChildEcho) any {
+			x := local.(uint64)
+			for _, c := range children {
+				x ^= c.Value.(uint64)
+			}
+			return x
+		},
+	}
+}
+
+// countSpec: echo sums, over in-tree nodes, whether the node carries an
+// incident edge with the candidate number (capped at 3 — only ==1
+// matters).
+func countSpec(edgeNum uint64) *tree.Spec {
+	down := countDown{EdgeNum: edgeNum}
+	return &tree.Spec{
+		Down:     down,
+		DownBits: 64,
+		UpBits:   2,
+		Local: func(node *congest.NodeState, downAny any) any {
+			d := downAny.(countDown)
+			for i := range node.Edges {
+				if node.Edges[i].EdgeNum == d.EdgeNum {
+					return 1
+				}
+			}
+			return 0
+		},
+		Combine: func(node *congest.NodeState, down, local any, children []tree.ChildEcho) any {
+			sum := local.(int)
+			for _, c := range children {
+				sum += c.Value.(int)
+			}
+			if sum > 3 {
+				sum = 3
+			}
+			return sum
+		},
+	}
+}

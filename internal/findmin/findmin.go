@@ -1,0 +1,246 @@
+// Package findmin implements the paper's FindMin and FindMin-C (§3.1):
+// find the minimum-weight edge leaving the tree containing a given root,
+// by w-ary search over the composite-weight range. Each iteration is one
+// TestOut broadcast-and-echo probing w sub-intervals in parallel (the
+// echo is one w-bit word), plus two HP-TestOut verifications when a lane
+// fires. Expected O(log n / log log n) broadcast-and-echoes; FindMin-C
+// caps the iteration count at twice the expectation, trading a constant
+// failure probability for a worst-case bound (Lemma 2).
+package findmin
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"kkt/internal/congest"
+	"kkt/internal/hashing"
+	"kkt/internal/rng"
+	"kkt/internal/sketch"
+	"kkt/internal/tree"
+)
+
+// q is the paper's lower bound on TestOut's success probability (the odd
+// hash family is 1/8-odd).
+const q = 1.0 / 8
+
+// Variant selects between the expected-cost and capped algorithms.
+type Variant int
+
+const (
+	// Full is FindMin: iterates until the search terminates or the
+	// high-probability budget (c/q)(lg n + lg maxWt / lg w) is exhausted.
+	Full Variant = iota + 1
+	// Capped is FindMin-C: at most (2c/q) lg maxWt / lg w iterations —
+	// worst-case cost matching FindMin's expected cost, succeeding with
+	// constant probability (>= 2/3 - n^-c).
+	Capped
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Full:
+		return "FindMin"
+	case Capped:
+		return "FindMin-C"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Reason explains a Result without an edge.
+type Reason int
+
+const (
+	// FoundEdge: the minimum cut edge was identified.
+	FoundEdge Reason = iota + 1
+	// EmptyCut: HP-TestOut certified (w.h.p.) that no edge leaves the
+	// tree.
+	EmptyCut
+	// GaveUp: the iteration budget ran out (FindMin-C's constant-
+	// probability failure mode; returns "no answer", never a wrong edge
+	// beyond HP-TestOut's n^-c).
+	GaveUp
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case FoundEdge:
+		return "found"
+	case EmptyCut:
+		return "empty-cut"
+	case GaveUp:
+		return "gave-up"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Config tunes a run. The zero value is not valid; use Defaults.
+type Config struct {
+	// Variant selects FindMin or FindMin-C.
+	Variant Variant
+	// C is the error exponent: failure probability n^-C.
+	C int
+	// Lanes is the w of the w-ary search; the paper uses the word size
+	// (64). Smaller values (e.g. 2 = binary search) are ablations.
+	Lanes int
+	// VerifyNarrowing controls the HP-TestOut checks before narrowing.
+	// Disabling it is an ablation that shows why unverified narrowing
+	// breaks: a missed lighter lane below the fired lane is never
+	// recovered.
+	VerifyNarrowing bool
+}
+
+// Defaults returns the paper-faithful configuration.
+func Defaults(v Variant) Config {
+	return Config{Variant: v, C: 2, Lanes: sketch.Lanes, VerifyNarrowing: true}
+}
+
+// Stats counts the work one run performed.
+type Stats struct {
+	Iterations int // TestOut broadcast-and-echoes
+	HPTests    int // HP-TestOut broadcast-and-echoes
+	Narrowings int // successful range reductions
+}
+
+// Result is the outcome of FindMin.
+type Result struct {
+	Reason Reason
+	// Composite is the unique composite weight of the found edge
+	// (valid when Reason == FoundEdge).
+	Composite uint64
+	// EdgeNum is the found edge's number; A, B its endpoints (A < B).
+	EdgeNum uint64
+	A, B    congest.NodeID
+	Stats   Stats
+}
+
+// Run executes FindMin (or FindMin-C) from root over the marked tree
+// containing it. r supplies the initiator's randomness. The returned edge,
+// when present, is w.h.p. the minimum-composite-weight edge leaving the
+// tree; EmptyCut is w.h.p. correct; FindMin never returns a non-cut edge
+// (TestOut's positives are certain and the final value is a concrete
+// incident edge weight).
+func Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, r *rng.RNG, cfg Config) (Result, error) {
+	if cfg.Lanes < 2 {
+		return Result{}, fmt.Errorf("findmin: need at least 2 lanes, got %d", cfg.Lanes)
+	}
+	if cfg.C < 1 {
+		cfg.C = 1
+	}
+	nw := p.Network()
+	n := float64(nw.N())
+
+	// Step 2: survey the tree for maxWt, maxEdgeNum, degree sums.
+	sv, err := sketch.RunSurvey(p, pr, root)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if sv.UnmarkedDegreeSum == 0 {
+		// No candidate edges at all: certainly empty, no search needed.
+		res.Reason = EmptyCut
+		return res, nil
+	}
+	eps := math.Pow(n, -float64(cfg.C+1))
+	reps := sketch.NumReps(eps, sv.DegreeSum)
+
+	hp := func(iv sketch.Interval) (bool, error) {
+		res.Stats.HPTests++
+		return sketch.HPTestOut(p, pr, root, sketch.DrawAlphas(r, reps), iv)
+	}
+
+	// Step 3: the search range covers every candidate composite weight.
+	rangeIv := sketch.Interval{Lo: 1, Hi: sv.MaxComposite}
+	maxIter := iterationBudget(cfg, n, float64(sv.MaxComposite))
+
+	for res.Stats.Iterations < maxIter {
+		res.Stats.Iterations++
+		// Steps 4-5: one broadcast carries a fresh odd hash; the echo
+		// carries one TestOut bit per lane.
+		h := hashing.NewOddHash(r)
+		word, err := sketch.TestOutLanes(p, pr, root, h, rangeIv, cfg.Lanes)
+		if err != nil {
+			return res, err
+		}
+		lanes := rangeIv.Split(cfg.Lanes)
+		if word == 0 {
+			// No lane fired: either the cut (within range) is empty or
+			// TestOut failed everywhere. Distinguish w.h.p.
+			leaving, err := hp(rangeIv)
+			if err != nil {
+				return res, err
+			}
+			if !leaving {
+				res.Reason = EmptyCut
+				return res, nil
+			}
+			continue
+		}
+		// Step 6: smallest fired lane.
+		minIdx := bits.TrailingZeros64(word)
+		if minIdx >= len(lanes) {
+			return res, fmt.Errorf("findmin: fired lane %d beyond %d lanes", minIdx, len(lanes))
+		}
+		lane := lanes[minIdx]
+		if cfg.VerifyNarrowing {
+			// Step 6: TestLow — is there a lighter cut edge below the
+			// fired lane that TestOut missed?
+			if lane.Lo > rangeIv.Lo {
+				low, err := hp(sketch.Interval{Lo: rangeIv.Lo, Hi: lane.Lo - 1})
+				if err != nil {
+					return res, err
+				}
+				if low {
+					continue // paper step 8: repeat without narrowing
+				}
+			}
+			// TestInterval — confirm the fired lane (guards against the
+			// vanishing chance HP-TestOut contradicts a certain positive;
+			// also the paper's step 6 second check).
+			in, err := hp(lane)
+			if err != nil {
+				return res, err
+			}
+			if !in {
+				continue
+			}
+		}
+		// Step 7(a): narrow.
+		res.Stats.Narrowings++
+		rangeIv = lane
+		if rangeIv.Lo == rangeIv.Hi {
+			comp := rangeIv.Lo
+			_, edgeNum := nw.Layout().SplitComposite(comp)
+			a, b := nw.Layout().SplitEdgeNum(edgeNum)
+			res.Reason = FoundEdge
+			res.Composite = comp
+			res.EdgeNum = edgeNum
+			res.A, res.B = congest.NodeID(a), congest.NodeID(b)
+			return res, nil
+		}
+	}
+	res.Reason = GaveUp
+	return res, nil
+}
+
+// iterationBudget computes the Count bound of FindMin step 8.
+func iterationBudget(cfg Config, n, maxWt float64) int {
+	lgMaxWt := math.Log2(maxWt + 1)
+	lgLanes := math.Log2(float64(cfg.Lanes))
+	c := float64(cfg.C)
+	var budget float64
+	if cfg.Variant == Capped {
+		budget = (2 * c / q) * lgMaxWt / lgLanes
+	} else {
+		budget = (c/q)*math.Log2(n) + (c/q)*lgMaxWt/lgLanes
+	}
+	b := int(math.Ceil(budget))
+	if b < 4 {
+		b = 4
+	}
+	return b
+}

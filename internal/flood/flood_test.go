@@ -1,0 +1,102 @@
+package flood
+
+import (
+	"sort"
+	"testing"
+
+	"kkt/internal/congest"
+	"kkt/internal/graph"
+	"kkt/internal/rng"
+	"kkt/internal/spanning"
+)
+
+func buildAndCheck(t *testing.T, g *graph.Graph) BuildResult {
+	t.Helper()
+	nw := congest.NewNetwork(g)
+	f := Attach(nw)
+	res, err := f.Build()
+	if err != nil {
+		t.Fatalf("flood Build: %v", err)
+	}
+	idx := make([]int, 0, len(res.Forest))
+	for _, e := range res.Forest {
+		i := g.EdgeIndex(uint32(e[0]), uint32(e[1]))
+		if i < 0 {
+			t.Fatalf("marked edge not in graph")
+		}
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	if err := spanning.IsSpanningForest(g, idx); err != nil {
+		t.Fatalf("flood result invalid: %v", err)
+	}
+	return res
+}
+
+func TestFloodShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"two nodes", graph.Path(2, 1, graph.UnitWeights())},
+		{"path", graph.Path(10, 1, graph.UnitWeights())},
+		{"ring", graph.Ring(9, 1, graph.UnitWeights())},
+		{"K7", graph.Complete(7, 1, graph.UnitWeights())},
+		{"grid", graph.Grid(5, 5, 1, graph.UnitWeights())},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			buildAndCheck(t, tt.g)
+		})
+	}
+}
+
+func TestFloodRandom(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + r.Intn(40)
+		maxM := n * (n - 1) / 2
+		m := n - 1 + r.Intn(maxM-n+2)
+		g := graph.GNM(r, n, m, 1, graph.UnitWeights())
+		buildAndCheck(t, g)
+	}
+}
+
+func TestFloodDisconnected(t *testing.T) {
+	g := graph.MustNew(6, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(4, 5, 1)
+	res := buildAndCheck(t, g)
+	if len(res.Forest) != 3 {
+		t.Errorf("forest edges = %d, want 3", len(res.Forest))
+	}
+}
+
+func TestFloodCostsThetaM(t *testing.T) {
+	// join messages ~ 2m - (n-1) + initiator degree bookkeeping; parent
+	// messages = n-1. Total within [m, 2m + n].
+	g := graph.Complete(30, 1, graph.UnitWeights()) // m = 435
+	res := buildAndCheck(t, g)
+	m := uint64(g.M())
+	n := uint64(g.N)
+	if res.Messages < m {
+		t.Errorf("flooding used %d messages, below m=%d — impossible for flooding", res.Messages, m)
+	}
+	if res.Messages > 2*m+n {
+		t.Errorf("flooding used %d messages, above 2m+n=%d", res.Messages, 2*m+n)
+	}
+}
+
+func TestFloodBFSDepth(t *testing.T) {
+	// On a path flooded from node 1 the tree is the path itself; rounds
+	// ~ diameter.
+	g := graph.Path(20, 1, graph.UnitWeights())
+	res := buildAndCheck(t, g)
+	if len(res.Forest) != 19 {
+		t.Fatalf("path forest edges = %d", len(res.Forest))
+	}
+	if res.Rounds < 19 || res.Rounds > 45 {
+		t.Errorf("rounds = %d, want ~diameter", res.Rounds)
+	}
+}

@@ -1,0 +1,299 @@
+// Package ghs is the classical baseline the paper improves on: a
+// synchronous Borůvka/GHS-style MST construction with the Gallager-
+// Humblet-Spira message profile O(m + n log n) [13].
+//
+// Each phase, every fragment broadcasts its identity down its tree; every
+// node then probes its cheapest incident candidate edges one at a time
+// ("test"), and the probed neighbour answers accept (different fragment)
+// or reject (same fragment). A rejected edge is internal forever
+// (fragments only merge), so both endpoints cache the rejection and never
+// test it again — that cache is why GHS is *not* impromptu: it keeps
+// O(deg) bits of state per node between operations, which is exactly the
+// contrast the paper draws. Each edge is rejected at most once over the
+// whole run, giving the O(m) term; the per-phase tree traffic gives the
+// O(n log n) term.
+package ghs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kkt/internal/congest"
+	"kkt/internal/tree"
+)
+
+// Message kinds.
+const (
+	KindFrag   = "ghs.frag"   // fragment-identity broadcast
+	KindTest   = "ghs.test"   // edge probe
+	KindStatus = "ghs.status" // accept/reject reply
+	KindReport = "ghs.report" // convergecast of the minimum candidate
+)
+
+// candidate is a minimum-outgoing-edge candidate.
+type candidate struct {
+	composite uint64
+	edgeNum   uint64
+	valid     bool
+}
+
+// nodeState is one node's GHS automaton state. rejected persists across
+// phases (the non-impromptu cache); the rest is per-phase.
+type nodeState struct {
+	rejected map[congest.NodeID]bool
+
+	phase     int
+	fragID    congest.NodeID
+	parent    congest.NodeID
+	expected  int       // children reports still missing
+	ownBest   candidate // the node's own accepted candidate
+	childBest candidate // minimum over children's reports
+	ownDone   bool      // this node's probing finished
+	probeIdx  int       // position in the sorted candidate list
+	probing   bool      // a test is in flight
+	reported  bool      // report went up (or completed, at the root)
+	probes    []congest.NodeID
+	deferred []*congest.Message // tests from the next phase, answered on entry
+	session  congest.SessionID  // root only: fragment session to complete
+}
+
+// Protocol is the per-network GHS instance.
+type Protocol struct {
+	nw    *congest.Network
+	state []*nodeState
+}
+
+// Attach registers the GHS handlers. Call once per network, after
+// tree.Attach (Build reuses tree's broadcast-and-echo for Add-Edge).
+func Attach(nw *congest.Network) *Protocol {
+	g := &Protocol{nw: nw, state: make([]*nodeState, nw.N()+1)}
+	for v := 1; v <= nw.N(); v++ {
+		g.state[v] = &nodeState{rejected: make(map[congest.NodeID]bool)}
+	}
+	nw.RegisterHandler(KindFrag, g.onFrag)
+	nw.RegisterHandler(KindTest, g.onTest)
+	nw.RegisterHandler(KindStatus, g.onStatus)
+	nw.RegisterHandler(KindReport, g.onReport)
+	return g
+}
+
+// BuildResult reports a GHS run.
+type BuildResult struct {
+	Forest   [][2]congest.NodeID
+	Phases   int
+	Messages uint64
+	Rounds   int64
+}
+
+// Build constructs the minimum spanning forest deterministically.
+func Build(nw *congest.Network, pr *tree.Protocol, g *Protocol) (BuildResult, error) {
+	var result BuildResult
+	maxPhases := int(math.Ceil(math.Log2(float64(nw.N())))) + 2
+	nw.Spawn("ghs", func(p *congest.Proc) error {
+		for phase := 1; ; phase++ {
+			if phase > maxPhases {
+				return fmt.Errorf("ghs: exceeded %d phases — not converging", maxPhases)
+			}
+			elect, err := pr.ElectAll(p)
+			if err != nil {
+				return err
+			}
+			if len(elect.CycleNodes) > 0 {
+				return fmt.Errorf("ghs: cycle in marked subgraph at phase %d", phase)
+			}
+			result.Phases = phase
+			merges := 0
+			procs := make([]*congest.Proc, 0, len(elect.Leaders))
+			for _, leader := range elect.Leaders {
+				leader := leader
+				procs = append(procs, p.Go(fmt.Sprintf("ghs-p%d-f%d", phase, leader), func(fp *congest.Proc) error {
+					cand, err := g.runFragment(fp, leader, phase)
+					if err != nil {
+						return err
+					}
+					if !cand.valid {
+						return nil
+					}
+					merges++
+					_, err = pr.BroadcastEcho(fp, leader, tree.AddEdgeSpec(cand.edgeNum))
+					return err
+				}))
+			}
+			if err := p.WaitAll(procs...); err != nil {
+				return err
+			}
+			p.AwaitQuiescence()
+			nw.ApplyStaged()
+			if merges == 0 {
+				return nil // every fragment is maximal: done, deterministically
+			}
+		}
+	})
+	err := nw.Run()
+	if err == nil {
+		result.Forest = nw.MarkedEdges()
+		c := nw.Counters()
+		result.Messages = c.Messages
+		result.Rounds = nw.Now()
+	}
+	return result, err
+}
+
+// runFragment drives one fragment through one phase: enter the phase at
+// the leader (which broadcasts the fragment identity), then await the
+// convergecast report of the minimum outgoing candidate.
+func (g *Protocol) runFragment(p *congest.Proc, leader congest.NodeID, phase int) (candidate, error) {
+	sid := g.nw.NewSession(nil)
+	node := g.nw.Node(leader)
+	st := g.state[leader]
+	st.session = sid
+	g.enterPhase(node, st, phase, leader, 0)
+	v, err := p.Await(sid)
+	if err != nil {
+		return candidate{}, err
+	}
+	return v.(candidate), nil
+}
+
+// enterPhase initialises a node's per-phase state, forwards the fragment
+// broadcast to its tree children, answers deferred probes and starts its
+// own probing.
+func (g *Protocol) enterPhase(node *congest.NodeState, st *nodeState, phase int, fragID, parent congest.NodeID) {
+	st.phase = phase
+	st.fragID = fragID
+	st.parent = parent
+	st.ownBest = candidate{}
+	st.childBest = candidate{}
+	st.ownDone = false
+	st.probeIdx = 0
+	st.probing = false
+	st.reported = false
+	st.expected = 0
+	for _, nb := range node.MarkedNeighbors() {
+		if nb != parent {
+			st.expected++
+			g.nw.Send(node.ID, nb, KindFrag, 0, 64, fragMsg{Phase: phase, FragID: fragID})
+		}
+	}
+	// candidate edges: unmarked, not rejected, cheapest first.
+	st.probes = st.probes[:0]
+	type cand struct {
+		nb   congest.NodeID
+		comp uint64
+	}
+	var cands []cand
+	for i := range node.Edges {
+		he := &node.Edges[i]
+		if !he.Marked && !st.rejected[he.Neighbor] {
+			cands = append(cands, cand{nb: he.Neighbor, comp: he.Composite})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].comp < cands[j].comp })
+	for _, c := range cands {
+		st.probes = append(st.probes, c.nb)
+	}
+	// answer probes that arrived before we entered the phase.
+	deferred := st.deferred
+	st.deferred = nil
+	for _, m := range deferred {
+		g.onTest(g.nw, node, m)
+	}
+	g.advanceProbe(node, st)
+}
+
+type fragMsg struct {
+	Phase  int
+	FragID congest.NodeID
+}
+
+type testMsg struct {
+	Phase  int
+	FragID congest.NodeID
+}
+
+// advanceProbe sends the next test, or finishes the node's local part.
+// A node always completes its own probing: a child's report must not
+// suppress a possibly lighter local candidate.
+func (g *Protocol) advanceProbe(node *congest.NodeState, st *nodeState) {
+	if st.probing || st.ownDone {
+		g.maybeReport(node, st)
+		return
+	}
+	for st.probeIdx < len(st.probes) {
+		nb := st.probes[st.probeIdx]
+		if st.rejected[nb] { // rejected by the other side mid-phase
+			st.probeIdx++
+			continue
+		}
+		st.probing = true
+		g.nw.Send(node.ID, nb, KindTest, 0, 64, testMsg{Phase: st.phase, FragID: st.fragID})
+		return
+	}
+	st.ownDone = true
+	g.maybeReport(node, st)
+}
+
+// maybeReport sends the report up once probing is done and all children
+// reported.
+func (g *Protocol) maybeReport(node *congest.NodeState, st *nodeState) {
+	if st.probing || !st.ownDone || st.expected > 0 || st.reported {
+		return
+	}
+	st.reported = true
+	best := st.ownBest
+	if st.childBest.valid && (!best.valid || st.childBest.composite < best.composite) {
+		best = st.childBest
+	}
+	if st.parent == 0 {
+		g.nw.CompleteSession(st.session, best, nil)
+		return
+	}
+	g.nw.Send(node.ID, st.parent, KindReport, 0, 129, best)
+}
+
+func (g *Protocol) onFrag(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
+	fm := msg.Payload.(fragMsg)
+	g.enterPhase(node, g.state[node.ID], fm.Phase, fm.FragID, msg.From)
+}
+
+func (g *Protocol) onTest(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
+	tm := msg.Payload.(testMsg)
+	st := g.state[node.ID]
+	if tm.Phase > st.phase {
+		st.deferred = append(st.deferred, msg)
+		return
+	}
+	accept := st.fragID != tm.FragID
+	if !accept {
+		// internal forever: cache the rejection on this side too.
+		st.rejected[msg.From] = true
+	}
+	nw.Send(node.ID, msg.From, KindStatus, 0, 8, accept)
+}
+
+func (g *Protocol) onStatus(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
+	st := g.state[node.ID]
+	st.probing = false
+	if msg.Payload.(bool) {
+		// probing in increasing weight order: the first accept is the
+		// node's minimum outgoing edge.
+		he := node.EdgeTo(msg.From)
+		st.ownBest = candidate{composite: he.Composite, edgeNum: he.EdgeNum, valid: true}
+		st.ownDone = true
+	} else {
+		st.rejected[msg.From] = true
+		st.probeIdx++
+	}
+	g.advanceProbe(node, st)
+}
+
+func (g *Protocol) onReport(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
+	st := g.state[node.ID]
+	c := msg.Payload.(candidate)
+	if c.valid && (!st.childBest.valid || c.composite < st.childBest.composite) {
+		st.childBest = c
+	}
+	st.expected--
+	g.maybeReport(node, st)
+}

@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"fmt"
+
+	"kkt/internal/rng"
+)
+
+// WeightFunc assigns a raw weight to the k-th generated edge. Generators
+// call it once per edge in generation order.
+type WeightFunc func(k int) uint64
+
+// UniformWeights draws raw weights uniformly from [1, u]. Duplicates are
+// allowed; composite weights keep edges distinct, as in the paper.
+func UniformWeights(r *rng.RNG, u uint64) WeightFunc {
+	return func(int) uint64 { return r.Range(1, u) }
+}
+
+// UnitWeights assigns weight 1 to every edge — the unweighted (ST) setting.
+func UnitWeights() WeightFunc {
+	return func(int) uint64 { return 1 }
+}
+
+// PermutationWeights assigns the distinct weights 1..m in random order;
+// callers must size u >= m. Useful when tests want raw weights to already
+// be unique.
+func PermutationWeights(r *rng.RNG, m int) WeightFunc {
+	perm := r.Perm(m)
+	return func(k int) uint64 { return uint64(perm[k]) + 1 }
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes
+// (random-parent construction over a random permutation: each non-root
+// attaches to a uniform predecessor, giving a random recursive tree —
+// low-diameter, used as connected scaffolding).
+func RandomTree(r *rng.RNG, n int, u uint64, w WeightFunc) *Graph {
+	g := MustNew(n, u)
+	order := r.Perm(n)
+	for i := 1; i < n; i++ {
+		a := uint32(order[i] + 1)
+		b := uint32(order[r.Intn(i)] + 1)
+		g.MustAddEdge(a, b, w(i-1))
+	}
+	return g
+}
+
+// Path returns the path 1-2-...-n, the maximum-diameter tree. Worst case
+// for broadcast-and-echo round counts.
+func Path(n int, u uint64, w WeightFunc) *Graph {
+	g := MustNew(n, u)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(uint32(i), uint32(i+1), w(i-1))
+	}
+	return g
+}
+
+// Ring returns the n-cycle.
+func Ring(n int, u uint64, w WeightFunc) *Graph {
+	if n < 3 {
+		panic("graph: ring needs n >= 3")
+	}
+	g := Path(n, u, w)
+	g.MustAddEdge(1, uint32(n), w(n-1))
+	return g
+}
+
+// Star returns the star with centre 1.
+func Star(n int, u uint64, w WeightFunc) *Graph {
+	g := MustNew(n, u)
+	for i := 2; i <= n; i++ {
+		g.MustAddEdge(1, uint32(i), w(i-2))
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph (n = rows*cols nodes).
+func Grid(rows, cols int, u uint64, w WeightFunc) *Graph {
+	g := MustNew(rows*cols, u)
+	id := func(r, c int) uint32 { return uint32(r*cols + c + 1) }
+	k := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1), w(k))
+				k++
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c), w(k))
+				k++
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns K_n. Dense extreme: m = n(n-1)/2, where the o(m)
+// separation from GHS/flooding is widest.
+func Complete(n int, u uint64, w WeightFunc) *Graph {
+	g := MustNew(n, u)
+	k := 0
+	for a := 1; a <= n; a++ {
+		for b := a + 1; b <= n; b++ {
+			g.MustAddEdge(uint32(a), uint32(b), w(k))
+			k++
+		}
+	}
+	return g
+}
+
+// GNM returns a connected Erdos-Renyi-style G(n,m): a random tree plus
+// m-(n-1) distinct random chords. It panics if m < n-1 or m exceeds the
+// number of possible edges.
+func GNM(r *rng.RNG, n, m int, u uint64, w WeightFunc) *Graph {
+	maxM := n * (n - 1) / 2
+	if m < n-1 || m > maxM {
+		panic(fmt.Sprintf("graph: GNM with m=%d outside [n-1=%d, %d]", m, n-1, maxM))
+	}
+	g := RandomTree(r, n, u, w)
+	k := n - 1
+	for g.M() < m {
+		a := uint32(r.Intn(n) + 1)
+		b := uint32(r.Intn(n) + 1)
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		g.MustAddEdge(a, b, w(k))
+		k++
+	}
+	return g
+}
+
+// GNP returns G(n,p) conditioned on connectivity: each possible edge is
+// present independently with probability p, and a random tree over the
+// leftover components stitches the graph connected.
+func GNP(r *rng.RNG, n int, p float64, u uint64, w WeightFunc) *Graph {
+	g := MustNew(n, u)
+	k := 0
+	for a := 1; a <= n; a++ {
+		for b := a + 1; b <= n; b++ {
+			if r.Float64() < p {
+				g.MustAddEdge(uint32(a), uint32(b), w(k))
+				k++
+			}
+		}
+	}
+	stitchConnected(r, g, w, &k)
+	return g
+}
+
+// PreferentialAttachment returns a Barabasi-Albert-style graph: each new
+// node attaches to deg attachments chosen proportionally to degree.
+// Heavy-tailed degrees stress the per-node aggregation paths.
+func PreferentialAttachment(r *rng.RNG, n, deg int, u uint64, w WeightFunc) *Graph {
+	if deg < 1 {
+		panic("graph: attachment degree must be >= 1")
+	}
+	g := MustNew(n, u)
+	// endpoint multiset: each edge contributes both endpoints, so sampling
+	// uniformly from it is degree-proportional sampling.
+	endpoints := make([]uint32, 0, 2*n*deg)
+	k := 0
+	g.MustAddEdge(1, 2, w(k))
+	k++
+	endpoints = append(endpoints, 1, 2)
+	for v := 3; v <= n; v++ {
+		vid := uint32(v)
+		attached := 0
+		for attempts := 0; attached < deg && attempts < 50*deg; attempts++ {
+			t := endpoints[r.Intn(len(endpoints))]
+			if t == vid || g.HasEdge(vid, t) {
+				continue
+			}
+			g.MustAddEdge(vid, t, w(k))
+			k++
+			endpoints = append(endpoints, vid, t)
+			attached++
+		}
+		if attached == 0 { // degenerate fallback keeps the graph connected
+			t := uint32(r.Intn(v-1) + 1)
+			if !g.HasEdge(vid, t) {
+				g.MustAddEdge(vid, t, w(k))
+				k++
+				endpoints = append(endpoints, vid, t)
+			}
+		}
+	}
+	return g
+}
+
+// Barbell returns two cliques of size k joined by a path of n-2k nodes.
+// The long path maximises tree diameter while the cliques maximise local
+// density — adversarial for both round counts and message counts.
+func Barbell(k, pathLen int, u uint64, w WeightFunc) *Graph {
+	n := 2*k + pathLen
+	g := MustNew(n, u)
+	idx := 0
+	clique := func(lo int) {
+		for a := lo; a < lo+k; a++ {
+			for b := a + 1; b < lo+k; b++ {
+				g.MustAddEdge(uint32(a), uint32(b), w(idx))
+				idx++
+			}
+		}
+	}
+	clique(1)
+	clique(k + pathLen + 1)
+	// path from node k to node k+pathLen+1 through the middle nodes.
+	prev := uint32(k)
+	for i := 0; i < pathLen; i++ {
+		next := uint32(k + 1 + i)
+		g.MustAddEdge(prev, next, w(idx))
+		idx++
+		prev = next
+	}
+	g.MustAddEdge(prev, uint32(k+pathLen+1), w(idx))
+	return g
+}
+
+// stitchConnected adds random edges between components until the graph is
+// connected.
+func stitchConnected(r *rng.RNG, g *Graph, w WeightFunc, k *int) {
+	for {
+		comp, ncomp := components(g)
+		if ncomp <= 1 {
+			return
+		}
+		// pick one representative per component and chain them randomly.
+		reps := make([]uint32, ncomp)
+		seen := make([]bool, ncomp)
+		for v := 1; v <= g.N; v++ {
+			c := comp[v]
+			if !seen[c] {
+				seen[c] = true
+				reps[c] = uint32(v)
+			}
+		}
+		r.Shuffle(len(reps), func(i, j int) { reps[i], reps[j] = reps[j], reps[i] })
+		for i := 1; i < len(reps); i++ {
+			if !g.HasEdge(reps[i-1], reps[i]) {
+				g.MustAddEdge(reps[i-1], reps[i], w(*k))
+				*k++
+			}
+		}
+	}
+}
+
+// components labels nodes with component indices 0..ncomp-1 (index 0 of the
+// returned slice is unused).
+func components(g *Graph) (comp []int, ncomp int) {
+	comp = make([]int, g.N+1)
+	for i := range comp {
+		comp[i] = -1
+	}
+	adj := g.Adjacency()
+	var stack []uint32
+	for s := 1; s <= g.N; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = ncomp
+		stack = append(stack[:0], uint32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ei := range adj[v] {
+				e := g.Edge(ei)
+				o := e.A
+				if o == v {
+					o = e.B
+				}
+				if comp[o] < 0 {
+					comp[o] = ncomp
+					stack = append(stack, o)
+				}
+			}
+		}
+		ncomp++
+	}
+	return comp, ncomp
+}

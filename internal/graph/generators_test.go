@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"testing"
+
+	"kkt/internal/rng"
+)
+
+func isConnected(g *Graph) bool {
+	_, n := components(g)
+	return n <= 1
+}
+
+func TestRandomTree(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{2, 3, 10, 100} {
+		g := RandomTree(r, n, 100, UniformWeights(r, 100))
+		if g.M() != n-1 {
+			t.Fatalf("n=%d: tree has %d edges", n, g.M())
+		}
+		if !isConnected(g) {
+			t.Fatalf("n=%d: tree disconnected", n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPathRingStarShapes(t *testing.T) {
+	w := UnitWeights()
+	p := Path(5, 1, w)
+	if p.M() != 4 || p.Degree(1) != 1 || p.Degree(3) != 2 {
+		t.Error("path shape wrong")
+	}
+	rg := Ring(5, 1, w)
+	if rg.M() != 5 {
+		t.Error("ring edge count wrong")
+	}
+	for v := uint32(1); v <= 5; v++ {
+		if rg.Degree(v) != 2 {
+			t.Errorf("ring degree of %d = %d", v, rg.Degree(v))
+		}
+	}
+	s := Star(6, 1, w)
+	if s.Degree(1) != 5 || s.Degree(2) != 1 {
+		t.Error("star shape wrong")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4, 7, UnitWeights())
+	if g.N != 12 {
+		t.Fatalf("grid has %d nodes", g.N)
+	}
+	// m = rows*(cols-1) + (rows-1)*cols = 3*3 + 2*4 = 17
+	if g.M() != 17 {
+		t.Fatalf("grid has %d edges, want 17", g.M())
+	}
+	if !isConnected(g) {
+		t.Fatal("grid disconnected")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(7, 10, UnitWeights())
+	if g.M() != 21 {
+		t.Fatalf("K7 has %d edges", g.M())
+	}
+	for v := uint32(1); v <= 7; v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("K7 degree %d", g.Degree(v))
+		}
+	}
+}
+
+func TestGNM(t *testing.T) {
+	r := rng.New(10)
+	for _, tc := range []struct{ n, m int }{{10, 9}, {10, 20}, {50, 200}, {4, 6}} {
+		g := GNM(r, tc.n, tc.m, 1000, UniformWeights(r, 1000))
+		if g.M() != tc.m {
+			t.Fatalf("GNM(%d,%d) has %d edges", tc.n, tc.m, g.M())
+		}
+		if !isConnected(g) {
+			t.Fatalf("GNM(%d,%d) disconnected", tc.n, tc.m)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGNMPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GNM with m < n-1 should panic")
+		}
+	}()
+	r := rng.New(1)
+	GNM(r, 10, 5, 10, UnitWeights())
+}
+
+func TestGNPConnected(t *testing.T) {
+	r := rng.New(6)
+	for _, p := range []float64{0.0, 0.05, 0.5} {
+		g := GNP(r, 40, p, 50, UniformWeights(r, 50))
+		if !isConnected(g) {
+			t.Fatalf("GNP(p=%v) disconnected", p)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	r := rng.New(12)
+	g := PreferentialAttachment(r, 200, 3, 100, UniformWeights(r, 100))
+	if !isConnected(g) {
+		t.Fatal("PA graph disconnected")
+	}
+	if g.M() < 200 {
+		t.Fatalf("PA graph too sparse: %d edges", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(5, 10, 10, UnitWeights())
+	if g.N != 20 {
+		t.Fatalf("barbell nodes = %d", g.N)
+	}
+	// 2 * C(5,2) + path of 11 edges
+	if g.M() != 2*10+11 {
+		t.Fatalf("barbell edges = %d, want 31", g.M())
+	}
+	if !isConnected(g) {
+		t.Fatal("barbell disconnected")
+	}
+}
+
+func TestPermutationWeightsDistinct(t *testing.T) {
+	r := rng.New(2)
+	w := PermutationWeights(r, 10)
+	seen := make(map[uint64]bool)
+	for k := 0; k < 10; k++ {
+		v := w(k)
+		if v < 1 || v > 10 || seen[v] {
+			t.Fatalf("bad permutation weight %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := GNM(rng.New(42), 30, 60, 100, UniformWeights(rng.New(43), 100))
+	g2 := GNM(rng.New(42), 30, 60, 100, UniformWeights(rng.New(43), 100))
+	if g1.M() != g2.M() {
+		t.Fatal("nondeterministic generator")
+	}
+	for i := range g1.Edges() {
+		if g1.Edge(i) != g2.Edge(i) {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}

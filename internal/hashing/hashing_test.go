@@ -1,0 +1,186 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+
+	"kkt/internal/rng"
+)
+
+// TestOddHashIsOdd verifies the defining (1/8)-odd property (paper eq. 1):
+// for a fixed non-empty set S, over random draws of h, the parity of
+// |{x in S : h(x)=1}| is odd with probability >= 1/8. This is the entire
+// correctness foundation of TestOut.
+func TestOddHashIsOdd(t *testing.T) {
+	r := rng.New(42)
+	sets := [][]uint64{
+		{7},
+		{1, 2},
+		{3, 1 << 40, 977},
+		manyElements(1, 100),
+		manyElements(1<<50, 1000),
+	}
+	const trials = 20000
+	for si, s := range sets {
+		odd := 0
+		for i := 0; i < trials; i++ {
+			h := NewOddHash(r)
+			if h.ParityOver(s)&1 == 1 {
+				odd++
+			}
+		}
+		frac := float64(odd) / trials
+		// 1/8 guaranteed; allow generous sampling noise on the lower
+		// side (5 sigma below 0.125 at 20k trials is ~0.113).
+		if frac < 0.11 {
+			t.Errorf("set %d (size %d): odd fraction %.4f < 0.11", si, len(s), frac)
+		}
+	}
+}
+
+// TestOddHashEmptySetAlwaysEven: parity over the empty set is always 0 —
+// the one-sidedness of TestOut (a positive answer is always correct).
+func TestOddHashEmptySetAlwaysEven(t *testing.T) {
+	r := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		h := NewOddHash(r)
+		if h.ParityOver(nil) != 0 {
+			t.Fatal("empty set hashed to odd parity")
+		}
+	}
+}
+
+// TestOddHashSingletonProbability: for |S| = 1 the parity is odd iff
+// h(x)=1, which happens with probability ~ E[t]/2^64 ~ 1/2.
+func TestOddHashSingletonProbability(t *testing.T) {
+	r := rng.New(99)
+	const trials = 20000
+	ones := 0
+	for i := 0; i < trials; i++ {
+		h := NewOddHash(r)
+		ones += int(h.Bit(123456789))
+	}
+	frac := float64(ones) / trials
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("singleton hash probability %.4f, want ~0.5", frac)
+	}
+}
+
+func TestOddHashDeterministicGivenDraw(t *testing.T) {
+	h := OddHash{A: 12345 | 1, T: 1 << 60}
+	for _, x := range []uint64{0, 1, 42, 1 << 63} {
+		if h.Bit(x) != h.Bit(x) {
+			t.Fatal("hash not deterministic")
+		}
+	}
+}
+
+// TestPairwiseUniformity: each output value of the 2-independent family
+// should be roughly uniform over [2^l].
+func TestPairwiseUniformity(t *testing.T) {
+	r := rng.New(5)
+	const l = 4 // 16 buckets
+	const trials = 32000
+	counts := make([]int, 1<<l)
+	for i := 0; i < trials; i++ {
+		h := NewPairwiseHash(r, l)
+		counts[h.Hash(0xdeadbeef)]++
+	}
+	want := float64(trials) / (1 << l)
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+// TestPairwiseIndependencePairs: for two fixed distinct keys, the joint
+// distribution over a small output range should factorise (approximately):
+// Pr[h(x)=a and h(y)=b] ~ 1/|range|^2 for all a,b.
+func TestPairwiseIndependencePairs(t *testing.T) {
+	r := rng.New(17)
+	const l = 2 // 4 buckets -> 16 joint cells
+	const trials = 64000
+	joint := make([][]int, 1<<l)
+	for i := range joint {
+		joint[i] = make([]int, 1<<l)
+	}
+	x, y := uint64(3), uint64(1<<55+17)
+	for i := 0; i < trials; i++ {
+		h := NewPairwiseHash(r, l)
+		joint[h.Hash(x)][h.Hash(y)]++
+	}
+	want := float64(trials) / float64((1<<l)*(1<<l))
+	for a := range joint {
+		for b := range joint[a] {
+			got := float64(joint[a][b])
+			if math.Abs(got-want) > 7*math.Sqrt(want) {
+				t.Errorf("joint[%d][%d] = %.0f, want ~%.0f", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestIsolationProbability reproduces Lemma 4 empirically: for a set W
+// with 0 < |W| < 2^(l-1), with probability >= 1/16 there is a level j such
+// that exactly one element of W hashes below 2^j.
+func TestIsolationProbability(t *testing.T) {
+	r := rng.New(2024)
+	for _, setSize := range []int{1, 2, 5, 17, 100} {
+		w := manyElements(1000, setSize)
+		const trials = 8000
+		isolated := 0
+		for i := 0; i < trials; i++ {
+			h := NewPairwiseHash(r, 20)
+			if hasIsolatingLevel(h, w, 20) {
+				isolated++
+			}
+		}
+		frac := float64(isolated) / trials
+		if frac < 1.0/16 {
+			t.Errorf("|W|=%d: isolation probability %.4f < 1/16", setSize, frac)
+		}
+	}
+}
+
+func hasIsolatingLevel(h PairwiseHash, w []uint64, l int) bool {
+	for j := 0; j <= l; j++ {
+		count := 0
+		bound := uint64(1) << uint(j)
+		for _, x := range w {
+			if h.Hash(x) < bound {
+				count++
+			}
+		}
+		if count == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPrefixLevelConsistency: PrefixLevel(x) is the smallest i with
+// Hash(x) < 2^i.
+func TestPrefixLevelConsistency(t *testing.T) {
+	r := rng.New(31)
+	for i := 0; i < 200; i++ {
+		h := NewPairwiseHash(r, 16)
+		x := r.Uint64()
+		lvl := h.PrefixLevel(x)
+		v := h.Hash(x)
+		if lvl > 0 && v < uint64(1)<<uint(lvl-1) {
+			t.Fatalf("level %d not minimal for value %d", lvl, v)
+		}
+		if v >= uint64(1)<<uint(lvl) {
+			t.Fatalf("value %d not below 2^%d", v, lvl)
+		}
+	}
+}
+
+func manyElements(start uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = start + uint64(i)*2654435761
+	}
+	return out
+}

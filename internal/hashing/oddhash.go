@@ -1,0 +1,55 @@
+// Package hashing implements the two hash families the paper's sketches are
+// built on:
+//
+//   - OddHash — Thorup's "sample(x) = (a*x <= t)" distinguisher
+//     (arXiv:1411.4982), an (1/8)-odd hash family: for every non-empty set
+//     S, the number of elements of S hashing to 1 is odd with probability
+//     at least 1/8. TestOut (paper §2.1) XORs these bits over all edges
+//     incident to a tree to detect a cut edge.
+//
+//   - PairwiseHash — a 2-independent hash into [2^l] via Dietzfelbinger's
+//     multiplicative scheme over 128-bit arithmetic (paper reference [9]).
+//     FindAny (paper §4.1) uses it to isolate a single cut edge with
+//     probability >= 1/16 (Lemma 4).
+package hashing
+
+import "kkt/internal/rng"
+
+// OddHash is Thorup's distinguisher h(x) = 1 iff (a*x mod 2^64) <= t with a
+// a uniform odd multiplier and t a uniform threshold. It is an (1/8)-odd
+// hash function. The struct is the exact O(w)-bit object broadcast down the
+// tree in TestOut.
+type OddHash struct {
+	// A is the odd multiplier, uniform over odd 64-bit values.
+	A uint64
+	// T is the threshold, uniform over all 64-bit values.
+	T uint64
+}
+
+// NewOddHash draws a fresh hash function from the family.
+func NewOddHash(r *rng.RNG) OddHash {
+	return OddHash{A: r.OddUint64(), T: r.Uint64()}
+}
+
+// Bit returns h(x) in {0,1}. The mod-2^64 comes free with uint64 overflow,
+// exactly as the paper remarks for word-size arithmetic.
+func (h OddHash) Bit(x uint64) uint64 {
+	if h.A*x <= h.T {
+		return 1
+	}
+	return 0
+}
+
+// Bits returns the number of bits needed to transmit the function: two
+// machine words.
+func (h OddHash) Bits() int { return 128 }
+
+// ParityOver returns the parity (mod 2) of the number of elements of xs
+// that hash to 1 — the quantity each node computes locally in TestOut.
+func (h OddHash) ParityOver(xs []uint64) uint64 {
+	var parity uint64
+	for _, x := range xs {
+		parity ^= h.Bit(x)
+	}
+	return parity
+}

@@ -1,0 +1,71 @@
+package hashing
+
+import (
+	"math/bits"
+
+	"kkt/internal/rng"
+)
+
+// PairwiseHash is a 2-wise independent hash function from 64-bit keys into
+// [2^L], implemented with Dietzfelbinger's multiply-add-shift scheme
+// "h(x) = ((a*x + b) mod 2^(2w)) div 2^(2w-L)" with w = 64, i.e. 128-bit
+// intermediate arithmetic (paper reference [9]: universal hashing via
+// integer arithmetic without primes).
+//
+// FindAny broadcasts one of these (four machine words) and each node hashes
+// its incident edge numbers.
+type PairwiseHash struct {
+	// AHi, ALo form the 128-bit multiplier a.
+	AHi, ALo uint64
+	// BHi, BLo form the 128-bit additive term b.
+	BHi, BLo uint64
+	// L is the output width: values land in [0, 2^L). 1 <= L <= 64.
+	L int
+}
+
+// NewPairwiseHash draws a fresh 2-independent function into [2^l].
+func NewPairwiseHash(r *rng.RNG, l int) PairwiseHash {
+	if l < 1 || l > 64 {
+		panic("hashing: pairwise output width out of range [1,64]")
+	}
+	return PairwiseHash{
+		AHi: r.Uint64(), ALo: r.Uint64(),
+		BHi: r.Uint64(), BLo: r.Uint64(),
+		L: l,
+	}
+}
+
+// Hash maps x into [0, 2^L): the top L bits of (a*x + b) mod 2^128.
+func (h PairwiseHash) Hash(x uint64) uint64 {
+	// low 128 bits of a*x.
+	hi, lo := bits.Mul64(h.ALo, x)
+	hi += h.AHi * x // contribution of the high multiplier word, mod 2^64
+	// add b, 128-bit; only the carry into the high word affects the output.
+	_, carry := bits.Add64(lo, h.BLo, 0)
+	hi += h.BHi + carry
+	// top L bits of the 128-bit value (hi:lo): shift right by 128-L.
+	if h.L == 64 {
+		return hi
+	}
+	return hi >> uint(64-h.L)
+}
+
+// Bits returns the transmission size of the function: four machine words
+// plus the width parameter.
+func (h PairwiseHash) Bits() int { return 4*64 + 8 }
+
+// PrefixLevel returns the largest i in [0, L] such that Hash(x) < 2^i is
+// false for all i' < i ... more plainly: it returns the smallest i such
+// that Hash(x) < 2^i, i.e. floor(log2(Hash(x)))+1, with 0 when Hash(x)==0.
+// FindAny's level vectors need, for each level i, the parity of elements
+// with Hash(x) < 2^i; PrefixLevel lets a node bucket each edge once.
+func (h PairwiseHash) PrefixLevel(x uint64) int {
+	v := h.Hash(x)
+	level := 0
+	for v != 0 {
+		v >>= 1
+		level++
+	}
+	return level
+}
+

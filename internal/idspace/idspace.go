@@ -1,0 +1,119 @@
+// Package idspace maps node identities from a huge (up to exponential) ID
+// space into a polynomial range, the reduction the paper invokes in §1:
+// "using the classic Karp-Rabin fingerprinting, w.h.p., we can easily map n
+// ID's in exponential ID space to distinct ID's in polynomial ID space."
+//
+// Each raw identity is fingerprinted as rawID mod p for a random prime p of
+// Theta(log n) bits; two distinct 64-bit identities collide for at most 64
+// of the primes in any window, so drawing p from a window with poly(n)
+// primes makes all pairs distinct w.h.p. The mapping is position-free: a
+// node computes its fingerprint knowing only its own raw ID and the shared
+// random prime, so it also applies to the neighbour IDs known under KT1.
+package idspace
+
+import (
+	"fmt"
+	"sort"
+
+	"kkt/internal/primes"
+	"kkt/internal/rng"
+)
+
+// Mapper fingerprints raw 64-bit identities into a compact space.
+type Mapper struct {
+	p uint64
+}
+
+// NewMapper draws a random fingerprinting prime suitable for n nodes with
+// failure probability <= n^-c. The prime is drawn uniformly from primes in
+// [L, 2L) where L = n^(c+2)·64·ln(L): by the prime number theorem the
+// window holds ~L/ln(L) primes, while each of the <= n^2/2 colliding pairs
+// rules out at most 64 of them.
+func NewMapper(r *rng.RNG, n int, c int) Mapper {
+	if n < 1 {
+		panic("idspace: n must be positive")
+	}
+	if c < 1 {
+		c = 1
+	}
+	// L = n^(c+2) * 2^12 caps collision probability well under n^-c for
+	// all n >= 2 while keeping fingerprints well inside 62 bits for the
+	// sizes the simulator supports.
+	l := uint64(1)
+	for i := 0; i < c+2; i++ {
+		next := l * uint64(n)
+		if next/uint64(n) != l || next > 1<<48 {
+			l = 1 << 48 // saturate; still poly-bounded in spirit
+			break
+		}
+		l = next
+	}
+	l <<= 12
+	p := primes.NextPrime(l + r.Uint64n(l))
+	return Mapper{p: p}
+}
+
+// NewMapperWithPrime builds a mapper with an explicit prime, for tests.
+func NewMapperWithPrime(p uint64) (Mapper, error) {
+	if !primes.IsPrime(p) {
+		return Mapper{}, fmt.Errorf("idspace: %d is not prime", p)
+	}
+	return Mapper{p: p}, nil
+}
+
+// Prime returns the fingerprinting prime.
+func (m Mapper) Prime() uint64 { return m.p }
+
+// Fingerprint maps a raw identity into [1, p]: rawID mod p, with 0 shifted
+// to p so that fingerprints are positive as the paper's ID range [1, n^c]
+// requires.
+func (m Mapper) Fingerprint(rawID uint64) uint64 {
+	f := rawID % m.p
+	if f == 0 {
+		return m.p
+	}
+	return f
+}
+
+// Distinct reports whether the fingerprints of all raw IDs are pairwise
+// distinct (the w.h.p. event). Build-time setup uses it to validate a drawn
+// prime and redraw in the negligible failure case.
+func (m Mapper) Distinct(rawIDs []uint64) bool {
+	fps := make([]uint64, len(rawIDs))
+	for i, id := range rawIDs {
+		fps[i] = m.Fingerprint(id)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	for i := 1; i < len(fps); i++ {
+		if fps[i] == fps[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// CompactMap fingerprints all raw IDs and then rank-compresses the result
+// into dense IDs 1..n (rank in fingerprint order). Rank compression is a
+// simulator convenience for indexing; algorithms only ever compare IDs, and
+// fingerprinting preserves distinctness, so ranks preserve the KT1
+// semantics. It returns an error if the drawn prime collides (probability
+// <= n^-c; callers redraw).
+func (m Mapper) CompactMap(rawIDs []uint64) (map[uint64]uint32, error) {
+	type pair struct {
+		fp  uint64
+		raw uint64
+	}
+	pairs := make([]pair, len(rawIDs))
+	for i, id := range rawIDs {
+		pairs[i] = pair{fp: m.Fingerprint(id), raw: id}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].fp < pairs[j].fp })
+	out := make(map[uint64]uint32, len(pairs))
+	for i, pr := range pairs {
+		if i > 0 && pr.fp == pairs[i-1].fp {
+			return nil, fmt.Errorf("idspace: fingerprint collision under prime %d", m.p)
+		}
+		out[pr.raw] = uint32(i + 1)
+	}
+	return out, nil
+}

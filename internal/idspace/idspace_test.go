@@ -1,0 +1,107 @@
+package idspace
+
+import (
+	"testing"
+
+	"kkt/internal/rng"
+)
+
+func TestFingerprintPositiveAndStable(t *testing.T) {
+	m, err := NewMapperWithPrime(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range []uint64{0, 1, 100, 101, 202, 1 << 60} {
+		f := m.Fingerprint(raw)
+		if f < 1 || f > 101 {
+			t.Errorf("Fingerprint(%d) = %d outside [1,101]", raw, f)
+		}
+		if f != m.Fingerprint(raw) {
+			t.Error("fingerprint not deterministic")
+		}
+	}
+	// multiples of p map to p, not 0
+	if m.Fingerprint(202) != 101 {
+		t.Errorf("Fingerprint(202) = %d, want 101", m.Fingerprint(202))
+	}
+}
+
+func TestNewMapperDistinctWHP(t *testing.T) {
+	r := rng.New(8)
+	// 1000 exponential-space IDs; a random poly-range prime must keep
+	// them distinct (failure probability is negligible).
+	raws := make([]uint64, 1000)
+	for i := range raws {
+		raws[i] = r.Uint64()
+	}
+	m := NewMapper(r, len(raws), 2)
+	if !m.Distinct(raws) {
+		t.Fatalf("collision with prime %d (probability ~ n^-2)", m.Prime())
+	}
+}
+
+func TestDistinctDetectsCollision(t *testing.T) {
+	m, err := NewMapperWithPrime(97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Distinct([]uint64{5, 5 + 97}) {
+		t.Error("failed to detect forced collision")
+	}
+	if !m.Distinct([]uint64{1, 2, 3}) {
+		t.Error("false collision")
+	}
+}
+
+func TestCompactMapDense(t *testing.T) {
+	r := rng.New(3)
+	raws := make([]uint64, 500)
+	for i := range raws {
+		raws[i] = r.Uint64() | 1<<63 // huge IDs
+	}
+	m := NewMapper(r, len(raws), 2)
+	cm, err := m.CompactMap(raws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm) != len(raws) {
+		t.Fatalf("mapped %d of %d", len(cm), len(raws))
+	}
+	seen := make([]bool, len(raws)+1)
+	for _, compact := range cm {
+		if compact < 1 || int(compact) > len(raws) {
+			t.Fatalf("compact ID %d out of range", compact)
+		}
+		if seen[compact] {
+			t.Fatalf("duplicate compact ID %d", compact)
+		}
+		seen[compact] = true
+	}
+}
+
+func TestCompactMapOrderPreservesFingerprints(t *testing.T) {
+	// rank compression must order by fingerprint value
+	m, err := NewMapperWithPrime(1009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := []uint64{10, 20, 30}
+	cm, err := m.CompactMap(raws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fingerprints are 10, 20, 30 themselves (below p): ranks 1,2,3
+	if cm[10] != 1 || cm[20] != 2 || cm[30] != 3 {
+		t.Errorf("unexpected ranks: %v", cm)
+	}
+}
+
+func TestCompactMapReportsCollision(t *testing.T) {
+	m, err := NewMapperWithPrime(97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CompactMap([]uint64{3, 3 + 97}); err == nil {
+		t.Error("collision not reported")
+	}
+}

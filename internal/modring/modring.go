@@ -1,0 +1,107 @@
+// Package modring implements arithmetic in the ring Z_p for a fixed prime
+// modulus p < 2^62. HP-TestOut (paper §2.2) evaluates the products
+// P(D)(z) = prod_{e in D} (z - edgeNumber(e)) mod p at a random point; every
+// node performs these multiplications locally and the partial products are
+// combined up the tree.
+package modring
+
+import (
+	"fmt"
+	"math/bits"
+
+	"kkt/internal/primes"
+)
+
+// Ring is arithmetic modulo a fixed prime. The zero value is invalid; use
+// New. Ring is immutable and safe for concurrent use.
+type Ring struct {
+	p uint64
+}
+
+// New returns a Ring over Z_p. p must be a prime < 2^62 so that all
+// intermediate values stay in range for the bits-based mulmod.
+func New(p uint64) (Ring, error) {
+	if p >= uint64(1)<<62 {
+		return Ring{}, fmt.Errorf("modring: modulus %d >= 2^62", p)
+	}
+	if !primes.IsPrime(p) {
+		return Ring{}, fmt.Errorf("modring: modulus %d is not prime", p)
+	}
+	return Ring{p: p}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(p uint64) Ring {
+	r, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Default returns the ring over the Mersenne prime 2^61-1, the simulator's
+// standard HP-TestOut modulus.
+func Default() Ring { return Ring{p: primes.MersennePrime61} }
+
+// P returns the modulus.
+func (r Ring) P() uint64 { return r.p }
+
+// Bits returns the size of the modulus in bits (the |p| of the paper's
+// message-size analysis).
+func (r Ring) Bits() int { return bits.Len64(r.p) }
+
+// Reduce maps an arbitrary uint64 into [0, p).
+func (r Ring) Reduce(x uint64) uint64 { return x % r.p }
+
+// Add returns a+b mod p. Inputs must already be reduced.
+func (r Ring) Add(a, b uint64) uint64 {
+	s := a + b // cannot overflow: a,b < 2^62
+	if s >= r.p {
+		s -= r.p
+	}
+	return s
+}
+
+// Sub returns a-b mod p. Inputs must already be reduced.
+func (r Ring) Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return r.p - b + a
+}
+
+// Neg returns -a mod p. Input must already be reduced.
+func (r Ring) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return r.p - a
+}
+
+// Mul returns a*b mod p for any uint64 inputs.
+func (r Ring) Mul(a, b uint64) uint64 { return primes.MulMod(a, b, r.p) }
+
+// Pow returns a^e mod p.
+func (r Ring) Pow(a, e uint64) uint64 { return primes.PowMod(a, e, r.p) }
+
+// Inv returns the multiplicative inverse of a (a must be nonzero mod p),
+// via Fermat's little theorem.
+func (r Ring) Inv(a uint64) uint64 {
+	a = r.Reduce(a)
+	if a == 0 {
+		panic("modring: zero has no inverse")
+	}
+	return r.Pow(a, r.p-2)
+}
+
+// EvalRootProduct evaluates prod_i (alpha - roots[i]) mod p. This is the
+// local polynomial evaluation each node performs over the edge numbers of
+// its up- or down-edge set.
+func (r Ring) EvalRootProduct(alpha uint64, roots []uint64) uint64 {
+	alpha = r.Reduce(alpha)
+	prod := uint64(1)
+	for _, root := range roots {
+		prod = r.Mul(prod, r.Sub(alpha, r.Reduce(root)))
+	}
+	return prod
+}

@@ -1,0 +1,137 @@
+package modring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kkt/internal/primes"
+)
+
+func TestNewRejectsBadModuli(t *testing.T) {
+	if _, err := New(10); err == nil {
+		t.Error("composite modulus accepted")
+	}
+	if _, err := New(uint64(1) << 62); err == nil {
+		t.Error("too-large modulus accepted")
+	}
+	if _, err := New(primes.MersennePrime61); err != nil {
+		t.Errorf("2^61-1 rejected: %v", err)
+	}
+}
+
+func TestFieldAxiomsSpotChecks(t *testing.T) {
+	r := MustNew(101)
+	for a := uint64(0); a < 101; a++ {
+		if got := r.Add(a, r.Neg(a)); got != 0 {
+			t.Fatalf("a + (-a) = %d for a=%d", got, a)
+		}
+		if a != 0 {
+			if got := r.Mul(a, r.Inv(a)); got != 1 {
+				t.Fatalf("a * a^-1 = %d for a=%d", got, a)
+			}
+		}
+	}
+}
+
+func TestArithmeticProperties(t *testing.T) {
+	r := Default()
+	p := r.P()
+	reduce := func(x uint64) uint64 { return x % p }
+	f := func(a, b, c uint64) bool {
+		a, b, c = reduce(a), reduce(b), reduce(c)
+		// commutativity
+		if r.Add(a, b) != r.Add(b, a) || r.Mul(a, b) != r.Mul(b, a) {
+			return false
+		}
+		// associativity of add
+		if r.Add(r.Add(a, b), c) != r.Add(a, r.Add(b, c)) {
+			return false
+		}
+		// distributivity
+		if r.Mul(a, r.Add(b, c)) != r.Add(r.Mul(a, b), r.Mul(a, c)) {
+			return false
+		}
+		// sub is inverse of add
+		if r.Sub(r.Add(a, b), b) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowMatchesRepeatedMul(t *testing.T) {
+	r := MustNew(1009)
+	for _, a := range []uint64{0, 1, 2, 57, 1008} {
+		want := uint64(1)
+		for e := uint64(0); e < 50; e++ {
+			if got := r.Pow(a, e); got != want {
+				t.Fatalf("Pow(%d,%d) = %d, want %d", a, e, got, want)
+			}
+			want = r.Mul(want, a)
+		}
+	}
+}
+
+func TestEvalRootProduct(t *testing.T) {
+	r := MustNew(97)
+	// P(z) = (z-3)(z-5)(z-7); at z=10: 7*5*3 = 105 = 8 mod 97
+	if got := r.EvalRootProduct(10, []uint64{3, 5, 7}); got != 8 {
+		t.Errorf("EvalRootProduct = %d, want 8", got)
+	}
+	// empty product is 1
+	if got := r.EvalRootProduct(42, nil); got != 1 {
+		t.Errorf("empty product = %d, want 1", got)
+	}
+	// evaluating at a root gives 0
+	if got := r.EvalRootProduct(5, []uint64{3, 5, 7}); got != 0 {
+		t.Errorf("product at root = %d, want 0", got)
+	}
+}
+
+func TestEvalRootProductPermutationInvariant(t *testing.T) {
+	// The multiset-equality test relies on the product being order-free.
+	r := Default()
+	f := func(alpha uint64, roots []uint64) bool {
+		if len(roots) > 40 {
+			roots = roots[:40]
+		}
+		fwd := r.EvalRootProduct(alpha, roots)
+		rev := make([]uint64, len(roots))
+		for i, x := range roots {
+			rev[len(roots)-1-i] = x
+		}
+		return fwd == r.EvalRootProduct(alpha, rev)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchwartzZippelErrorRate(t *testing.T) {
+	// Distinct multisets of size k disagree at a random point with
+	// probability >= 1 - k/p. With p = 2^61-1 and k = 10 a disagreement
+	// must be observed essentially always; run a few hundred trials.
+	r := Default()
+	setA := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	setB := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 11} // differs in one root
+	seed := uint64(12345)
+	for trial := 0; trial < 300; trial++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		alpha := seed % r.P()
+		if r.EvalRootProduct(alpha, setA) == r.EvalRootProduct(alpha, setB) {
+			t.Fatalf("distinct multisets agreed at alpha=%d (prob ~ 2^-57)", alpha)
+		}
+	}
+	// Equal multisets in different order always agree.
+	setC := []uint64{10, 1, 9, 2, 8, 3, 7, 4, 6, 5}
+	for trial := 0; trial < 50; trial++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		alpha := seed % r.P()
+		if r.EvalRootProduct(alpha, setA) != r.EvalRootProduct(alpha, setC) {
+			t.Fatal("equal multisets disagreed")
+		}
+	}
+}

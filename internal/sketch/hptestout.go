@@ -1,0 +1,135 @@
+package sketch
+
+import (
+	"math"
+
+	"kkt/internal/congest"
+	"kkt/internal/modring"
+	"kkt/internal/rng"
+	"kkt/internal/tree"
+)
+
+// MaxReps bounds the number of parallel Schwartz-Zippel repetitions so
+// that one echo (2 Z_p values per repetition) stays within the message
+// budget. With p = 2^61-1 and degree sums < 2^40, three repetitions push
+// the error below 2^-60 — far below any n^-c the simulator can exercise.
+const MaxReps = 3
+
+// hpDown is the broadcast payload: the evaluation points and the weight
+// interval under test.
+type hpDown struct {
+	Alphas []uint64
+	Range  Interval
+}
+
+// hpPair is one repetition's pair of polynomial evaluations.
+type hpPair struct {
+	Up, Down uint64
+}
+
+// NumReps returns how many parallel repetitions are needed to push the
+// one-sided error below eps given that at most degreeBound edge endpoints
+// are incident to the tree (the polynomial degree bound B of §2.2).
+func NumReps(eps float64, degreeBound int) int {
+	if eps <= 0 || degreeBound < 1 {
+		return 1
+	}
+	ring := modring.Default()
+	perRep := float64(degreeBound) / float64(ring.P())
+	if perRep >= 1 {
+		return MaxReps
+	}
+	r := int(math.Ceil(math.Log(eps) / math.Log(perRep)))
+	if r < 1 {
+		r = 1
+	}
+	if r > MaxReps {
+		r = MaxReps
+	}
+	return r
+}
+
+// DrawAlphas draws reps evaluation points from Z_p.
+func DrawAlphas(r *rng.RNG, reps int) []uint64 {
+	ring := modring.Default()
+	out := make([]uint64, reps)
+	for i := range out {
+		out[i] = r.Uint64n(ring.P())
+	}
+	return out
+}
+
+// HPTestOutSpec builds the broadcast-and-echo of HP-TestOut(x, j, k): each
+// node evaluates P(E-up(y))(alpha) and P(E-down(y))(alpha) over its
+// incident edges with composite weight in rng, where E-up(y) holds the
+// edges on which y is the smaller endpoint and E-down(y) those on which it
+// is the larger. Products are multiplied up the tree; at the root the two
+// multiset fingerprints agree for every alpha iff (w.h.p.) no edge leaves
+// the tree: every tree-internal edge contributes the same factor to both
+// sides (once from each endpoint), while a cut edge contributes to exactly
+// one side.
+func HPTestOutSpec(alphas []uint64, rng Interval) *tree.Spec {
+	if len(alphas) == 0 || len(alphas) > MaxReps {
+		panic("sketch: HPTestOut needs 1..MaxReps alphas")
+	}
+	ring := modring.Default()
+	down := hpDown{Alphas: alphas, Range: rng}
+	reps := len(alphas)
+	return &tree.Spec{
+		Down:     down,
+		DownBits: reps*ring.Bits() + 2*64 + 8,
+		UpBits:   reps * 2 * ring.Bits(),
+		Local: func(node *congest.NodeState, downAny any) any {
+			d := downAny.(hpDown)
+			pairs := make([]hpPair, len(d.Alphas))
+			for i := range pairs {
+				pairs[i] = hpPair{Up: 1, Down: 1}
+			}
+			for ei := range node.Edges {
+				he := &node.Edges[ei]
+				if he.Composite < d.Range.Lo || he.Composite > d.Range.Hi {
+					continue
+				}
+				root := ring.Reduce(he.EdgeNum)
+				isUp := node.ID < he.Neighbor
+				for i, alpha := range d.Alphas {
+					factor := ring.Sub(ring.Reduce(alpha), root)
+					if isUp {
+						pairs[i].Up = ring.Mul(pairs[i].Up, factor)
+					} else {
+						pairs[i].Down = ring.Mul(pairs[i].Down, factor)
+					}
+				}
+			}
+			return pairs
+		},
+		Combine: func(node *congest.NodeState, downAny, local any, children []tree.ChildEcho) any {
+			pairs := local.([]hpPair)
+			for _, c := range children {
+				cp := c.Value.([]hpPair)
+				for i := range pairs {
+					pairs[i].Up = ring.Mul(pairs[i].Up, cp[i].Up)
+					pairs[i].Down = ring.Mul(pairs[i].Down, cp[i].Down)
+				}
+			}
+			return pairs
+		},
+	}
+}
+
+// HPTestOut runs HP-TestOut(root, rng) with the given evaluation points
+// and reports whether an edge with composite weight in rng leaves the tree
+// containing root. A false answer is wrong with probability at most
+// (B/p)^len(alphas); a true answer is always correct.
+func HPTestOut(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, alphas []uint64, rng Interval) (bool, error) {
+	v, err := pr.BroadcastEcho(p, root, HPTestOutSpec(alphas, rng))
+	if err != nil {
+		return false, err
+	}
+	for _, pair := range v.([]hpPair) {
+		if pair.Up != pair.Down {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,122 @@
+package sketch
+
+import (
+	"kkt/internal/congest"
+	"kkt/internal/hashing"
+	"kkt/internal/tree"
+)
+
+// Lanes is the w of the paper's w-wise search (§3.1): the number of
+// sub-intervals one TestOut broadcast probes in parallel. It equals the
+// word size so the echo is a single word of per-lane parity bits.
+const Lanes = 64
+
+// Interval is an inclusive composite-weight interval.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Empty reports whether the interval contains nothing (Lo > Hi).
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Split partitions [iv.Lo, iv.Hi] into at most n equal-stride
+// sub-intervals (paper step 5: j_i = j + i*ceil((k-j)/w)). The last
+// sub-interval is clipped to Hi; trailing empty lanes are dropped.
+func (iv Interval) Split(n int) []Interval {
+	if iv.Empty() || n < 1 {
+		return nil
+	}
+	span := iv.Hi - iv.Lo + 1
+	stride := span / uint64(n)
+	if span%uint64(n) != 0 {
+		stride++
+	}
+	var out []Interval
+	for lo := iv.Lo; lo <= iv.Hi; lo += stride {
+		hi := lo + stride - 1
+		if hi > iv.Hi || hi < lo { // clip and guard overflow
+			hi = iv.Hi
+		}
+		out = append(out, Interval{Lo: lo, Hi: hi})
+		if hi == iv.Hi {
+			break
+		}
+	}
+	return out
+}
+
+// testOutDown is the broadcast payload of one TestOut: the odd hash and
+// the lane intervals' base parameters (the lanes themselves are recomputed
+// locally from Lo/Hi/NLanes, so the message stays O(1) words).
+type testOutDown struct {
+	Hash   hashing.OddHash
+	Range  Interval
+	NLanes int
+}
+
+// testOutDownBits: hash (2 words) + interval (2 words) + lane count.
+const testOutDownBits = 2*64 + 2*64 + 8
+
+// TestOutSpec builds the broadcast-and-echo computing, for each lane
+// sub-interval of rng, the parity of odd-hashed incident edge numbers with
+// composite weight in the lane (§2.1, §3.1). Tree-internal edges cancel
+// (counted at both endpoints), so each lane's aggregate bit is the parity
+// over that lane's cut edges: 1 proves a cut edge, 0 is inconclusive with
+// probability <= 7/8.
+func TestOutSpec(h hashing.OddHash, rng Interval, nLanes int) *tree.Spec {
+	down := testOutDown{Hash: h, Range: rng, NLanes: nLanes}
+	return &tree.Spec{
+		Down:     down,
+		DownBits: testOutDownBits,
+		UpBits:   Lanes,
+		Local: func(node *congest.NodeState, downAny any) any {
+			d := downAny.(testOutDown)
+			lanes := d.Range.Split(d.NLanes)
+			var word uint64
+			for i := range node.Edges {
+				he := &node.Edges[i]
+				if he.Composite < d.Range.Lo || he.Composite > d.Range.Hi {
+					continue
+				}
+				bit := d.Hash.Bit(he.EdgeNum)
+				if bit == 0 {
+					continue
+				}
+				for li, lane := range lanes {
+					if he.Composite >= lane.Lo && he.Composite <= lane.Hi {
+						word ^= uint64(1) << uint(li)
+						break
+					}
+				}
+			}
+			return word
+		},
+		Combine: func(node *congest.NodeState, downAny, local any, children []tree.ChildEcho) any {
+			word := local.(uint64)
+			for _, c := range children {
+				word ^= c.Value.(uint64)
+			}
+			return word
+		},
+	}
+}
+
+// TestOutLanes runs one TestOut broadcast-and-echo from root over the lane
+// split of rng and returns the parity word: bit i set means lane i
+// certainly contains an edge leaving the tree. Zero bits are inconclusive.
+func TestOutLanes(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, h hashing.OddHash, rng Interval, nLanes int) (uint64, error) {
+	v, err := pr.BroadcastEcho(p, root, TestOutSpec(h, rng, nLanes))
+	if err != nil {
+		return 0, err
+	}
+	return v.(uint64), nil
+}
+
+// TestOut is the single-interval form of the paper's TestOut(x, j, k): it
+// reports whether an edge with composite weight in rng leaves the tree
+// containing root. True is always correct; false is wrong with probability
+// at most 7/8 when the cut is non-empty.
+func TestOut(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, h hashing.OddHash, rng Interval) (bool, error) {
+	word, err := TestOutLanes(p, pr, root, h, rng, 1)
+	return word != 0, err
+}

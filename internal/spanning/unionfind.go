@@ -1,0 +1,63 @@
+// Package spanning holds the sequential reference algorithms the simulator
+// is validated against: union-find, Kruskal's MST, spanning-forest
+// construction and checkers, cut enumeration and tree-path queries. None of
+// this is "distributed"; it is the ground truth for tests and benchmarks.
+package spanning
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression over elements 1..n. The zero value is unusable; use
+// NewUnionFind.
+type UnionFind struct {
+	parent []uint32
+	rank   []uint8
+	sets   int
+}
+
+// NewUnionFind returns a union-find over n singleton elements 1..n.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]uint32, n+1),
+		rank:   make([]uint8, n+1),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = uint32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x uint32) uint32 {
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of a and b; it reports whether a merge happened
+// (false if they were already together).
+func (u *UnionFind) Union(a, b uint32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b uint32) bool { return u.Find(a) == u.Find(b) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }

@@ -1,0 +1,181 @@
+package st
+
+import (
+	"fmt"
+
+	"kkt/internal/congest"
+	"kkt/internal/findany"
+	"kkt/internal/rng"
+	"kkt/internal/tree"
+)
+
+// Action describes what an ST repair did.
+type Action int
+
+const (
+	// NoOp: the change did not affect the maintained forest.
+	NoOp Action = iota + 1
+	// Reconnected: a replacement edge was found and marked.
+	Reconnected
+	// Bridge: the deleted edge was a bridge.
+	Bridge
+	// Added: the inserted edge joined two trees.
+	Added
+	// Failed: FindAny gave up (probability ~ n^-c for the Full variant).
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case NoOp:
+		return "no-op"
+	case Reconnected:
+		return "reconnected"
+	case Bridge:
+		return "bridge"
+	case Added:
+		return "added"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Report is the outcome and cost of one ST repair.
+type Report struct {
+	Action   Action
+	Messages uint64
+	Time     int64
+	Edge     [2]congest.NodeID
+	Stats    findany.Stats
+}
+
+// RepairConfig tunes ST repair.
+type RepairConfig struct {
+	Seed    uint64
+	FindAny findany.Config
+}
+
+// DefaultRepair returns the paper-faithful configuration (FindAny, i.e.
+// expected O(n) messages per delete).
+func DefaultRepair(seed uint64) RepairConfig {
+	return RepairConfig{Seed: seed, FindAny: findany.Defaults(findany.Full)}
+}
+
+// Delete processes the deletion of link {a,b} for a maintained spanning
+// forest (paper §4.3): if it was a tree edge, the smaller-ID endpoint
+// finds any replacement with FindAny. Expected O(n) messages.
+func Delete(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg RepairConfig) (Report, error) {
+	before := nw.Counters()
+	beforeTime := nw.Now()
+	existed, wasMarked := nw.DeleteLink(a, b)
+	if !existed {
+		return Report{}, fmt.Errorf("st: delete of non-existent link {%d,%d}", a, b)
+	}
+	if !wasMarked {
+		return Report{Action: NoOp}, nil
+	}
+	u := a
+	if b < u {
+		u = b
+	}
+	var rep Report
+	nw.Spawn(fmt.Sprintf("st-delete-%d-%d", a, b), func(p *congest.Proc) error {
+		r := rng.New(cfg.Seed ^ uint64(a)<<32 ^ uint64(b))
+		res, err := findany.Run(p, pr, u, r, cfg.FindAny)
+		if err != nil {
+			return err
+		}
+		rep.Stats = res.Stats
+		switch res.Reason {
+		case findany.FoundEdge:
+			if _, err := pr.BroadcastEcho(p, u, tree.AddEdgeSpec(res.EdgeNum)); err != nil {
+				return err
+			}
+			p.AwaitQuiescence()
+			nw.ApplyStaged()
+			rep.Action = Reconnected
+			rep.Edge = [2]congest.NodeID{res.A, res.B}
+		case findany.EmptyCut:
+			rep.Action = Bridge
+		case findany.GaveUp:
+			rep.Action = Failed
+		}
+		return nil
+	})
+	if err := nw.Run(); err != nil {
+		return rep, err
+	}
+	c := nw.Counters().Sub(before)
+	rep.Messages = c.Messages
+	rep.Time = nw.Now() - beforeTime
+	return rep, nil
+}
+
+// Insert processes the insertion of link {a,b}: for an unweighted
+// spanning forest the edge matters only if it joins two trees, which one
+// broadcast-and-echo from the smaller endpoint decides. Deterministic,
+// O(|T|) messages.
+func Insert(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg RepairConfig) (Report, error) {
+	if err := nw.InsertLink(a, b, 1); err != nil {
+		return Report{}, err
+	}
+	before := nw.Counters()
+	beforeTime := nw.Now()
+	u, v := a, b
+	if v < u {
+		u, v = v, u
+	}
+	var rep Report
+	nw.Spawn(fmt.Sprintf("st-insert-%d-%d", a, b), func(p *congest.Proc) error {
+		found, err := runContains(p, pr, u, v)
+		if err != nil {
+			return err
+		}
+		if found {
+			rep.Action = NoOp // same tree: a spanning forest ignores it
+			return nil
+		}
+		nw.Node(u).StageMark(v)
+		pr.SendMarkX(u, v)
+		p.AwaitQuiescence()
+		nw.ApplyStaged()
+		rep.Action = Added
+		rep.Edge = [2]congest.NodeID{u, v}
+		return nil
+	})
+	if err := nw.Run(); err != nil {
+		return rep, err
+	}
+	c := nw.Counters().Sub(before)
+	rep.Messages = c.Messages
+	rep.Time = nw.Now() - beforeTime
+	return rep, nil
+}
+
+// runContains asks, with one broadcast-and-echo, whether target is in
+// root's tree.
+func runContains(p *congest.Proc, pr *tree.Protocol, root, target congest.NodeID) (bool, error) {
+	spec := &tree.Spec{
+		Down:     target,
+		DownBits: 32,
+		UpBits:   1,
+		Local: func(node *congest.NodeState, down any) any {
+			return node.ID == down.(congest.NodeID)
+		},
+		Combine: func(node *congest.NodeState, down, local any, children []tree.ChildEcho) any {
+			found := local.(bool)
+			for _, c := range children {
+				found = found || c.Value.(bool)
+			}
+			return found
+		},
+	}
+	v, err := pr.BroadcastEcho(p, root, spec)
+	if err != nil {
+		return false, err
+	}
+	return v.(bool), nil
+}

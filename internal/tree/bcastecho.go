@@ -1,0 +1,141 @@
+package tree
+
+import (
+	"fmt"
+
+	"kkt/internal/congest"
+)
+
+// ChildEcho is one child's aggregated echo, tagged with the connecting
+// half-edge so Combine can use the edge's weight (e.g. tree-path maxima).
+type ChildEcho struct {
+	Edge  congest.HalfEdge
+	Value any
+}
+
+// Emit lets OnDown side effects send extra protocol messages from the
+// receiving node (e.g. forwarding an add-edge instruction across the new
+// edge).
+type Emit func(to congest.NodeID, kind string, bits int, payload any)
+
+// Spec describes one broadcast-and-echo: what the root broadcasts, what
+// each node computes locally, and how echoes aggregate. The functions are
+// shared protocol code — identical at every node — and must only read the
+// *NodeState they are handed plus the broadcast value.
+type Spec struct {
+	// Down is the broadcast payload, forwarded unchanged down the tree.
+	Down any
+	// DownBits / UpBits declare the message sizes for cost accounting
+	// and budget checking.
+	DownBits int
+	UpBits   int
+	// Local computes the node's own contribution upon receiving the
+	// broadcast. May be nil (treated as contributing nil).
+	Local func(node *congest.NodeState, down any) any
+	// Combine folds the node's local value with its children's echoes
+	// into the value echoed to the parent (and, at the root, into the
+	// session result). Required.
+	Combine func(node *congest.NodeState, down any, local any, children []ChildEcho) any
+	// OnDown, if non-nil, runs at every node when the broadcast arrives
+	// (including the root at start) and may mutate local state and emit
+	// extra messages. Used for marking instructions.
+	OnDown func(node *congest.NodeState, down any, emit Emit)
+}
+
+// beState is the per-node automaton state of one broadcast-and-echo.
+type beState struct {
+	parent   congest.NodeID // 0 at the root
+	expected int            // children still to echo
+	children []ChildEcho
+	local    any
+}
+
+// StartBroadcastEcho begins a broadcast-and-echo rooted at root over the
+// marked edges. The returned session completes (at the initiating driver)
+// with Combine's value at the root. The marked subgraph containing root
+// must be a tree, otherwise the run panics — cycles are a protocol error
+// here (Build-ST handles cycles via elections, never via B&E).
+func (pr *Protocol) StartBroadcastEcho(root congest.NodeID, spec *Spec) congest.SessionID {
+	if spec.Combine == nil {
+		panic("tree: Spec.Combine is required")
+	}
+	sid := pr.nw.NewSession(nil)
+	pr.specs[sid] = spec
+	node := pr.nw.Node(root)
+	st := &beState{parent: 0}
+	pr.runDownAt(node, sid, spec, st)
+	return sid
+}
+
+// BroadcastEcho is the blocking driver helper: start, await, return.
+func (pr *Protocol) BroadcastEcho(p *congest.Proc, root congest.NodeID, spec *Spec) (any, error) {
+	sid := pr.StartBroadcastEcho(root, spec)
+	return p.Await(sid)
+}
+
+// runDownAt performs the on-broadcast work at a node: side effects, local
+// compute, forwarding, and the immediate echo when the node is a leaf.
+func (pr *Protocol) runDownAt(node *congest.NodeState, sid congest.SessionID, spec *Spec, st *beState) {
+	if spec.OnDown != nil {
+		spec.OnDown(node, spec.Down, func(to congest.NodeID, kind string, bits int, payload any) {
+			pr.nw.Send(node.ID, to, kind, sid, bits, payload)
+		})
+	}
+	if spec.Local != nil {
+		st.local = spec.Local(node, spec.Down)
+	}
+	for _, nb := range node.MarkedNeighbors() {
+		if nb != st.parent {
+			st.expected++
+			pr.nw.Send(node.ID, nb, KindDown, sid, spec.DownBits, spec.Down)
+		}
+	}
+	if st.expected == 0 {
+		pr.echoUp(node, sid, spec, st)
+		return
+	}
+	node.SetSessionState(sid, st)
+}
+
+// echoUp finishes a node: aggregates and either completes the session (at
+// the root) or echoes to the parent.
+func (pr *Protocol) echoUp(node *congest.NodeState, sid congest.SessionID, spec *Spec, st *beState) {
+	val := spec.Combine(node, spec.Down, st.local, st.children)
+	node.SetSessionState(sid, nil)
+	if st.parent == 0 {
+		delete(pr.specs, sid)
+		pr.nw.CompleteSession(sid, val, nil)
+		return
+	}
+	pr.nw.Send(node.ID, st.parent, KindUp, sid, spec.UpBits, val)
+}
+
+func (pr *Protocol) onDown(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
+	spec, ok := pr.specs[msg.Session]
+	if !ok {
+		panic(fmt.Sprintf("tree: down message for unknown session %d", msg.Session))
+	}
+	if node.SessionState(msg.Session) != nil {
+		panic(fmt.Sprintf("tree: node %d got a second broadcast in session %d — marked subgraph is not a tree", node.ID, msg.Session))
+	}
+	st := &beState{parent: msg.From}
+	pr.runDownAt(node, msg.Session, spec, st)
+}
+
+func (pr *Protocol) onUp(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
+	spec, ok := pr.specs[msg.Session]
+	if !ok {
+		panic(fmt.Sprintf("tree: up message for unknown session %d", msg.Session))
+	}
+	raw := node.SessionState(msg.Session)
+	st, ok := raw.(*beState)
+	if !ok {
+		panic(fmt.Sprintf("tree: node %d got echo without broadcast state in session %d", node.ID, msg.Session))
+	}
+	he := node.EdgeTo(msg.From)
+	st.children = append(st.children, ChildEcho{Edge: *he, Value: msg.Payload})
+	st.expected--
+	if st.expected == 0 {
+		pr.echoUp(node, msg.Session, spec, st)
+	}
+}

@@ -1,0 +1,144 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"kkt/internal/congest"
+)
+
+// CycleNode reports a node that detected (by timeout) that it lies on a
+// cycle of marked edges: it heard from all marked neighbours except the
+// two given ones, which are its neighbours along the cycle. (Paper §4.2:
+// "the nodes on the cycle will be exactly the set of nodes which fail to
+// hear from all but two of their neighbors.")
+type CycleNode struct {
+	Node        congest.NodeID
+	Left, Right congest.NodeID
+}
+
+// ElectResult is the outcome of one global election wave.
+type ElectResult struct {
+	// Leaders holds the elected leader of every acyclic fragment
+	// (including singleton nodes), in ascending ID order.
+	Leaders []congest.NodeID
+	// CycleNodes lists the nodes that detected they are on a cycle, in
+	// ascending ID order. Empty when the marked subgraph is a forest.
+	CycleNodes []CycleNode
+}
+
+// electState is the per-node automaton state of one election wave.
+type electState struct {
+	received map[congest.NodeID]bool
+	sentTo   congest.NodeID
+	decided  bool
+	isLeader bool
+}
+
+// StartElectAll begins a synchronised election wave across all nodes: a
+// leader per marked fragment, by the leaf-initiated median convergence of
+// §3.3. All nodes start simultaneously (the network is synchronous and
+// every node knows when an iteration begins). The session completes at
+// quiescence — the simulator's "after the maximum time needed for leader
+// election" — with an ElectResult.
+func (pr *Protocol) StartElectAll() congest.SessionID {
+	var sid congest.SessionID
+	sid = pr.nw.NewSession(func() (any, error) { return pr.collectElection(sid) })
+	for v := 1; v <= pr.nw.N(); v++ {
+		node := pr.nw.Node(congest.NodeID(v))
+		st := &electState{received: make(map[congest.NodeID]bool)}
+		node.SetSessionState(sid, st)
+		pr.electMaybeAct(node, sid, st)
+	}
+	return sid
+}
+
+// ElectAll is the blocking driver helper for StartElectAll.
+func (pr *Protocol) ElectAll(p *congest.Proc) (ElectResult, error) {
+	res, err := p.Await(pr.StartElectAll())
+	if err != nil {
+		return ElectResult{}, err
+	}
+	return res.(ElectResult), nil
+}
+
+// electMaybeAct applies the election rules at a node:
+//   - no marked neighbours: the node is a singleton fragment and its own
+//     leader;
+//   - heard from all marked neighbours: the node is a median; if its own
+//     earlier token crossed with the last sender's, the higher ID of the
+//     two adjacent medians wins;
+//   - heard from all but one and not yet sent: send the token that way.
+func (pr *Protocol) electMaybeAct(node *congest.NodeState, sid congest.SessionID, st *electState) {
+	if st.decided {
+		return
+	}
+	marked := node.MarkedNeighbors()
+	if len(marked) == 0 {
+		st.decided = true
+		st.isLeader = true
+		return
+	}
+	var pending []congest.NodeID
+	for _, nb := range marked {
+		if !st.received[nb] {
+			pending = append(pending, nb)
+		}
+	}
+	switch len(pending) {
+	case 0:
+		st.decided = true
+		if st.sentTo == 0 {
+			st.isLeader = true // sole median
+		} else {
+			st.isLeader = node.ID > st.sentTo // two adjacent medians
+		}
+	case 1:
+		if st.sentTo == 0 {
+			st.sentTo = pending[0]
+			pr.nw.Send(node.ID, pending[0], KindToken, sid, 8, nil)
+		}
+	}
+}
+
+func (pr *Protocol) onToken(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
+	raw := node.SessionState(msg.Session)
+	st, ok := raw.(*electState)
+	if !ok {
+		panic(fmt.Sprintf("tree: node %d got election token without state in session %d", node.ID, msg.Session))
+	}
+	st.received[msg.From] = true
+	pr.electMaybeAct(node, msg.Session, st)
+}
+
+// collectElection is the quiescence callback: gather leaders and stuck
+// (cycle) nodes, and clean up all per-node state.
+func (pr *Protocol) collectElection(sid congest.SessionID) (any, error) {
+	var res ElectResult
+	for v := 1; v <= pr.nw.N(); v++ {
+		node := pr.nw.Node(congest.NodeID(v))
+		raw := node.SessionState(sid)
+		st, ok := raw.(*electState)
+		if !ok {
+			continue
+		}
+		if st.decided && st.isLeader {
+			res.Leaders = append(res.Leaders, node.ID)
+		}
+		if !st.decided {
+			var pending []congest.NodeID
+			for _, nb := range node.MarkedNeighbors() {
+				if !st.received[nb] {
+					pending = append(pending, nb)
+				}
+			}
+			if len(pending) == 2 {
+				res.CycleNodes = append(res.CycleNodes, CycleNode{Node: node.ID, Left: pending[0], Right: pending[1]})
+			}
+		}
+		node.SetSessionState(sid, nil)
+	}
+	sort.Slice(res.Leaders, func(i, j int) bool { return res.Leaders[i] < res.Leaders[j] })
+	sort.Slice(res.CycleNodes, func(i, j int) bool { return res.CycleNodes[i].Node < res.CycleNodes[j].Node })
+	return res, nil
+}

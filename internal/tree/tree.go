@@ -1,0 +1,106 @@
+// Package tree implements the distributed primitives every algorithm in
+// the paper is built from, as message-level automata over the marked
+// (tree) edges of a congest.Network:
+//
+//   - broadcast-and-echo (paper §1, [13]): the root broadcasts a message
+//     down its tree; echoes aggregate values from the leaves back up.
+//     All of TestOut, HP-TestOut, FindMin and FindAny are one or more of
+//     these with different local-compute/aggregate functions.
+//
+//   - leader election by median finding (paper §3.3, ideas of [18]):
+//     leaves start echoes; tokens converge to one median or two adjacent
+//     medians (higher ID wins). On a fragment that is not a tree (the
+//     Build-ST cycle case, §4.2) the nodes on the cycle never finish and
+//     detect this on timeout — modelled as engine quiescence.
+//
+// One Protocol instance is attached to a network and registers the message
+// kinds once; sessions keep concurrent executions independent.
+package tree
+
+import (
+	"fmt"
+
+	"kkt/internal/congest"
+	"kkt/internal/rng"
+)
+
+// Message kinds registered by Attach.
+const (
+	KindDown  = "tree.down"  // broadcast phase of broadcast-and-echo
+	KindUp    = "tree.up"    // echo phase of broadcast-and-echo
+	KindToken = "tree.token" // leader-election token
+	KindMarkX = "tree.markx" // cross-edge mark request (add-edge forwarding)
+)
+
+// Protocol is the per-network instance holding session specs and the
+// protocol RNG stream (used only for node-local random choices).
+type Protocol struct {
+	nw    *congest.Network
+	specs map[congest.SessionID]*Spec
+	r     *rng.RNG
+}
+
+// Attach registers the tree protocol handlers on nw and returns the
+// instance. Call exactly once per network.
+func Attach(nw *congest.Network) *Protocol {
+	pr := &Protocol{
+		nw:    nw,
+		specs: make(map[congest.SessionID]*Spec),
+		r:     nw.Rand(),
+	}
+	nw.RegisterHandler(KindDown, pr.onDown)
+	nw.RegisterHandler(KindUp, pr.onUp)
+	nw.RegisterHandler(KindToken, pr.onToken)
+	nw.RegisterHandler(KindMarkX, pr.onMarkX)
+	return pr
+}
+
+// Network returns the attached network.
+func (pr *Protocol) Network() *congest.Network { return pr.nw }
+
+// NodeRand returns a deterministic node-local RNG for a given session —
+// the node's private coin flips (e.g. the cycle-breaking choice in
+// Build-ST).
+func (pr *Protocol) NodeRand(node congest.NodeID, sid congest.SessionID) *rng.RNG {
+	return rng.New(uint64(node)*0x9e3779b97f4a7c15 ^ uint64(sid)*0xbf58476d1ce4e5b9 ^ 0xc2b2ae3d27d4eb4f)
+}
+
+// SendMarkX asks the node across the (existing, typically unmarked) link
+// {from,to} to mark its half of the edge at the next barrier. Used by
+// drivers acting as the in-tree endpoint of a newly selected edge.
+func (pr *Protocol) SendMarkX(from, to congest.NodeID) {
+	pr.nw.Send(from, to, KindMarkX, 0, 16, nil)
+}
+
+func (pr *Protocol) onMarkX(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
+	if node.EdgeTo(msg.From) == nil {
+		panic(fmt.Sprintf("tree: markx for missing edge {%d,%d}", msg.From, node.ID))
+	}
+	node.StageMark(msg.From)
+}
+
+// AddEdgeSpec returns the broadcast-and-echo spec of the paper's "Add
+// Edge" instruction: the broadcast carries the selected edge's number;
+// the in-tree endpoint(s) stage a mark on it and forward a markx across
+// it so the other endpoint (possibly outside the tree) also stages one.
+// All marks take effect at the next barrier (ApplyStaged).
+func AddEdgeSpec(edgeNum uint64) *Spec {
+	return &Spec{
+		Down:     edgeNum,
+		DownBits: 64,
+		UpBits:   1,
+		OnDown: func(node *congest.NodeState, down any, emit Emit) {
+			en := down.(uint64)
+			for i := range node.Edges {
+				he := &node.Edges[i]
+				if he.EdgeNum == en && !he.Marked {
+					node.StageMark(he.Neighbor)
+					emit(he.Neighbor, KindMarkX, 16, nil)
+				}
+			}
+		},
+		Combine: func(node *congest.NodeState, down, local any, children []ChildEcho) any {
+			return nil
+		},
+	}
+}
