@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) run ./cmd/kkt bench --trials 8 --seed 1 --out BENCH_suite.json
+
+clean:
+	rm -f BENCH_*.json

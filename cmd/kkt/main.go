@@ -1,0 +1,206 @@
+// Command kkt is the experiment CLI over the CONGEST simulator: list the
+// registered scenarios, run one of them, or bench the whole suite into a
+// BENCH_*.json report. Thin shell over internal/harness, in the style of
+// tooling-first Go repos: all engine logic lives in internal packages.
+//
+// Usage:
+//
+//	kkt list [--json]
+//	kkt run <scenario> [--trials N] [--seed S] [--workers W] [--json]
+//	kkt bench [--filter SUBSTR] [--trials N] [--seed S] [--workers W]
+//	          [--json] [--out FILE] [--quiet]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"text/tabwriter"
+
+	"kkt/internal/harness"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "kkt: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kkt:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `kkt — experiment harness for the KKT'15 CONGEST algorithms
+
+Commands:
+  list   show the registered scenarios
+  run    run one scenario and print its metrics
+  bench  run the suite and write a BENCH_*.json report
+
+Run 'kkt <command> -h' for command flags.
+`)
+}
+
+// runFlags are the flags shared by run and bench.
+type runFlags struct {
+	trials  int
+	seed    uint64
+	workers int
+	jsonOut bool
+}
+
+func addRunFlags(fs *flag.FlagSet, rf *runFlags) {
+	fs.IntVar(&rf.trials, "trials", 4, "seeded trials per scenario")
+	fs.Uint64Var(&rf.seed, "seed", 1, "base seed (identical seeds give byte-identical metrics)")
+	fs.IntVar(&rf.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.BoolVar(&rf.jsonOut, "json", false, "emit JSON instead of a table")
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("kkt list", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs := harness.Builtin().Specs()
+	if *jsonOut {
+		return writeJSON(specs)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SCENARIO\tFAMILY\tN\tSCHED\tALGO\tFAULTS\tDESCRIPTION")
+	for _, s := range specs {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%d\t%s\n",
+			s.Name, s.Family, s.N, s.Sched, s.Algo, s.Faults.Total(), s.Description)
+	}
+	return tw.Flush()
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("kkt run", flag.ExitOnError)
+	var rf runFlags
+	addRunFlags(fs, &rf)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("run takes a scenario name (see 'kkt list')")
+	}
+	name := fs.Arg(0)
+	// accept flags after the scenario name too
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("run takes exactly one scenario name (see 'kkt list')")
+	}
+	reg := harness.Builtin()
+	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers}
+	results, err := harness.RunNamed(reg, []string{name}, cfg)
+	if err != nil {
+		return err
+	}
+	if rf.jsonOut {
+		if err := writeJSON(results[0]); err != nil {
+			return err
+		}
+	} else if err := harness.WriteTable(os.Stdout, results); err != nil {
+		return err
+	}
+	return reportTrialErrors(results)
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("kkt bench", flag.ExitOnError)
+	var rf runFlags
+	addRunFlags(fs, &rf)
+	filter := fs.String("filter", "", "only scenarios whose name contains this substring")
+	out := fs.String("out", "BENCH_suite.json", "report file path")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := harness.Builtin()
+	specs := reg.Match(*filter)
+	if len(specs) == 0 {
+		return fmt.Errorf("no scenario matches %q", *filter)
+	}
+	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers}.Normalized()
+	total := len(specs) * cfg.Trials
+	var done atomic.Int64
+	if !*quiet {
+		cfg.OnTrialDone = func(spec harness.Spec, trial int) {
+			fmt.Fprintf(os.Stderr, "\r[%d/%d] %-32s", done.Add(1), total, spec.Name)
+		}
+	}
+	results := harness.RunAll(specs, cfg)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+
+	suite := "builtin"
+	if *filter != "" {
+		suite = fmt.Sprintf("builtin[filter=%s]", *filter)
+	}
+	report := harness.NewReport(suite, cfg, results)
+	blob, err := report.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	if rf.jsonOut {
+		if _, err := os.Stdout.Write(blob); err != nil {
+			return err
+		}
+	} else {
+		if err := harness.WriteTable(os.Stdout, results); err != nil {
+			return err
+		}
+		fmt.Printf("\nreport written to %s\n", *out)
+	}
+	return reportTrialErrors(results)
+}
+
+// reportTrialErrors surfaces failed trials on stderr and returns an error
+// if any trial errored (so CI catches regressions).
+func reportTrialErrors(results []harness.Result) error {
+	failed := 0
+	for _, res := range results {
+		for _, t := range res.Trials {
+			if t.Error != "" {
+				failed++
+				fmt.Fprintf(os.Stderr, "kkt: %s trial %d (seed %d): %s\n", res.Spec.Name, t.Trial, t.Seed, t.Error)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d trial(s) failed", failed)
+	}
+	return nil
+}
+
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,3 @@
+module kkt
+
+go 1.24

@@ -62,7 +62,7 @@ func TestEdgeNumOrdering(t *testing.T) {
 }
 
 func TestEdgeNumRoundTrip(t *testing.T) {
-	l := MustNew(1 << 16, 1<<10)
+	l := MustNew(1<<16, 1<<10)
 	f := func(a, b uint16) bool {
 		if a == b {
 			return true

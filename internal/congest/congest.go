@@ -398,6 +398,20 @@ func (nw *Network) CompleteSession(sid SessionID, result any, err error) {
 // Counters returns a snapshot of the cost counters.
 func (nw *Network) Counters() Counters { return nw.counters.snapshot() }
 
+// CountersSince returns the costs accumulated since the earlier snapshot
+// (taken from Counters on this network). It lets callers meter a phase or
+// a single operation without resetting the global ledger.
+func (nw *Network) CountersSince(earlier Counters) Counters {
+	return nw.counters.snapshot().Sub(earlier)
+}
+
+// ResetCounters zeroes the cost ledger. Trial harnesses call it between
+// independent measurements on a reused network; protocol code never
+// should.
+func (nw *Network) ResetCounters() {
+	nw.counters = Counters{ByKind: make(map[string]KindCount)}
+}
+
 // Now returns the scheduler clock: the round number (sync) or virtual time
 // (async).
 func (nw *Network) Now() int64 { return nw.sched.now() }

@@ -1,0 +1,70 @@
+package congest
+
+import (
+	"testing"
+
+	"kkt/internal/graph"
+)
+
+// twoNodeNetwork builds a 1-2 network with a no-op handler installed.
+func twoNodeNetwork(t *testing.T) *Network {
+	t.Helper()
+	g := graph.MustNew(2, 4)
+	g.MustAddEdge(1, 2, 1)
+	nw := NewNetwork(g)
+	nw.RegisterHandler("noop", func(*Network, *NodeState, *Message) {})
+	return nw
+}
+
+func TestCountersSince(t *testing.T) {
+	nw := twoNodeNetwork(t)
+	nw.Send(1, 2, "noop", 0, 8, nil)
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := nw.Counters()
+	if snap.Messages != 1 {
+		t.Fatalf("messages = %d, want 1", snap.Messages)
+	}
+
+	nw.Send(2, 1, "noop", 0, 16, nil)
+	nw.Send(1, 2, "noop", 0, 16, nil)
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := nw.CountersSince(snap)
+	if d.Messages != 2 {
+		t.Errorf("delta messages = %d, want 2", d.Messages)
+	}
+	if want := uint64(2 * (16 + FramingBits)); d.Bits != want {
+		t.Errorf("delta bits = %d, want %d", d.Bits, want)
+	}
+	if kc := d.ByKind["noop"]; kc.Messages != 2 {
+		t.Errorf("delta by-kind messages = %d, want 2", kc.Messages)
+	}
+	// The snapshot is independent of the live ledger.
+	if snap.Messages != 1 {
+		t.Errorf("snapshot mutated: messages = %d", snap.Messages)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	nw := twoNodeNetwork(t)
+	nw.Send(1, 2, "noop", 0, 8, nil)
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	nw.ResetCounters()
+	c := nw.Counters()
+	if c.Messages != 0 || c.Bits != 0 || len(c.ByKind) != 0 {
+		t.Fatalf("counters not zeroed: %+v", c)
+	}
+	// The ledger still charges after a reset.
+	nw.Send(1, 2, "noop", 0, 8, nil)
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Counters().Messages; got != 1 {
+		t.Fatalf("messages after reset = %d, want 1", got)
+	}
+}

@@ -34,6 +34,7 @@ func Attach(nw *congest.Network) *Protocol {
 type BuildResult struct {
 	Forest   [][2]congest.NodeID
 	Messages uint64
+	Bits     uint64
 	Rounds   int64
 }
 
@@ -65,6 +66,7 @@ func (f *Protocol) Build() (BuildResult, error) {
 		result.Forest = nw.MarkedEdges()
 		c := nw.Counters()
 		result.Messages = c.Messages
+		result.Bits = c.Bits
 		result.Rounds = nw.Now()
 	}
 	return result, err

@@ -54,8 +54,8 @@ type nodeState struct {
 	probing   bool      // a test is in flight
 	reported  bool      // report went up (or completed, at the root)
 	probes    []congest.NodeID
-	deferred []*congest.Message // tests from the next phase, answered on entry
-	session  congest.SessionID  // root only: fragment session to complete
+	deferred  []*congest.Message // tests from the next phase, answered on entry
+	session   congest.SessionID  // root only: fragment session to complete
 }
 
 // Protocol is the per-network GHS instance.
@@ -83,6 +83,7 @@ type BuildResult struct {
 	Forest   [][2]congest.NodeID
 	Phases   int
 	Messages uint64
+	Bits     uint64
 	Rounds   int64
 }
 
@@ -135,6 +136,7 @@ func Build(nw *congest.Network, pr *tree.Protocol, g *Protocol) (BuildResult, er
 		result.Forest = nw.MarkedEdges()
 		c := nw.Counters()
 		result.Messages = c.Messages
+		result.Bits = c.Bits
 		result.Rounds = nw.Now()
 	}
 	return result, err

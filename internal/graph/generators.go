@@ -187,6 +187,33 @@ func PreferentialAttachment(r *rng.RNG, n, deg int, u uint64, w WeightFunc) *Gra
 	return g
 }
 
+// Expander returns a ring plus chords from (deg-2)/2 independent random
+// permutations (self-loops and duplicates skipped), the classical
+// construction of a near-deg-regular graph that is an expander w.h.p.
+// Each permutation layer adds at most 2 to a node's degree, so deg must
+// be even for the bound to be exact. Constant degree with logarithmic
+// diameter: the opposite stress profile from Ring (constant degree,
+// linear diameter) and Complete (dense).
+func Expander(r *rng.RNG, n, deg int, u uint64, w WeightFunc) *Graph {
+	if deg < 4 || deg%2 != 0 {
+		panic("graph: expander needs an even degree >= 4")
+	}
+	g := Ring(n, u, w)
+	k := g.M()
+	for layer := 0; layer < (deg-2)/2; layer++ {
+		perm := r.Perm(n)
+		for i := 0; i < n; i++ {
+			a, b := uint32(i+1), uint32(perm[i]+1)
+			if a == b || g.HasEdge(a, b) {
+				continue
+			}
+			g.MustAddEdge(a, b, w(k))
+			k++
+		}
+	}
+	return g
+}
+
 // Barbell returns two cliques of size k joined by a path of n-2k nodes.
 // The long path maximises tree diameter while the cliques maximise local
 // density — adversarial for both round counts and message counts.

@@ -166,3 +166,28 @@ func TestGeneratorDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestExpander(t *testing.T) {
+	r := rng.New(7)
+	g := Expander(r, 64, 4, 100, UniformWeights(rng.New(8), 100))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !isConnected(g) {
+		t.Fatal("expander disconnected")
+	}
+	// ring edges plus at most one chord layer's worth
+	if g.M() < 64 || g.M() > 2*64 {
+		t.Fatalf("expander edges = %d, want within (64, 128]", g.M())
+	}
+	maxDeg := 0
+	for v := uint32(1); v <= 64; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// degree 2 from the ring plus at most 2 per chord layer
+	if maxDeg > 4 {
+		t.Fatalf("expander max degree = %d, want <= 4", maxDeg)
+	}
+}

@@ -28,10 +28,10 @@ type Graph struct {
 	// Layout is the bit-field layout for IDs/edge numbers/composites.
 	Layout bitwidth.Layout
 
-	edges   []Edge
-	byNum   map[uint64]int // edge number -> index into edges
-	adj     [][]int        // node -> indices into edges; nil until built
-	adjval  bool
+	edges  []Edge
+	byNum  map[uint64]int // edge number -> index into edges
+	adj    [][]int        // node -> indices into edges; nil until built
+	adjval bool
 }
 
 // New creates an empty graph on n nodes with raw weights bounded by maxRaw.

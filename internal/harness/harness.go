@@ -1,0 +1,160 @@
+// Package harness is the experiment engine over the CONGEST simulator: a
+// registry of declarative scenarios (graph family × size × scheduler ×
+// algorithm × fault script), a parallel runner executing many seeded
+// trials on a bounded worker pool, and deterministic aggregation of the
+// per-trial cost metrics (messages, bits, time, repair actions) into
+// mean/p50/p99 summaries. The cmd/kkt CLI is a thin shell over this
+// package; identical seeds produce byte-identical reports.
+package harness
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph family names understood by Spec.Family.
+const (
+	FamilyGNM      = "gnm"      // connected Erdős–Rényi G(n,m), m = 3n by default
+	FamilyRing     = "ring"     // the n-cycle: constant degree, linear diameter
+	FamilyGrid     = "grid"     // √n × √n grid
+	FamilyExpander = "expander" // ring + random chords: constant degree, log diameter
+	FamilyComplete = "complete" // K_n: the dense extreme
+	FamilyTree     = "tree"     // uniformly random tree: m = n-1, no slack
+)
+
+// Scheduler names understood by Spec.Sched.
+const (
+	SchedSync  = "sync"  // lockstep rounds
+	SchedAsync = "async" // seeded per-message delays, FIFO per link
+)
+
+// Algorithm names understood by Spec.Algo.
+const (
+	AlgoMSTBuildAdaptive = "mst-build"       // Build MST, adaptive stop (paper §3.3)
+	AlgoMSTBuildFixed    = "mst-build-fixed" // Build MST, full fixed phase budget
+	AlgoMSTRepair        = "mst-repair"      // impromptu MSF repair storm (paper §3.2)
+	AlgoSTBuild          = "st-build"        // Build ST via FindAny-C (paper §4.2)
+	AlgoSTRepair         = "st-repair"       // impromptu ST repair storm (paper §4.3)
+	AlgoGHS              = "ghs"             // Gallager–Humblet–Spira baseline
+	AlgoFlood            = "flood"           // Θ(m) flooding baseline
+)
+
+// FaultScript is the declarative dynamic workload of a repair scenario:
+// how many of each topology change a trial applies, in seeded random
+// interleaving, against the maintained forest.
+type FaultScript struct {
+	Deletes       int `json:"deletes,omitempty"`
+	Inserts       int `json:"inserts,omitempty"`
+	WeightChanges int `json:"weight_changes,omitempty"`
+}
+
+// Total returns the number of operations in the script.
+func (f FaultScript) Total() int { return f.Deletes + f.Inserts + f.WeightChanges }
+
+// Spec declares one scenario: everything needed to run a trial except the
+// seed. Specs are plain data so they serialize into reports and CLI
+// listings.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Family and N pick the topology; MaxRaw bounds raw edge weights
+	// (default 1024). M (gnm only) overrides the edge count, default 3n.
+	// Degree (expander only) sets the target degree, default 4.
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	MaxRaw uint64 `json:"max_raw,omitempty"`
+	M      int    `json:"m,omitempty"`
+	Degree int    `json:"degree,omitempty"`
+
+	// Sched picks the timing model; MaxDelay (async only) bounds the
+	// per-message delay, default 4.
+	Sched    string `json:"sched"`
+	MaxDelay int64  `json:"max_delay,omitempty"`
+
+	// Algo picks the protocol under test; Faults is its dynamic workload
+	// (repair algorithms only).
+	Algo   string      `json:"algo"`
+	Faults FaultScript `json:"faults,omitzero"`
+}
+
+// withDefaults returns the spec with unset tunables filled in.
+func (s Spec) withDefaults() Spec {
+	if s.MaxRaw == 0 {
+		s.MaxRaw = 1024
+	}
+	if s.Family == FamilyGNM && s.M == 0 {
+		s.M = 3 * s.N
+	}
+	if s.Family == FamilyExpander && s.Degree == 0 {
+		s.Degree = 4
+	}
+	if s.Sched == SchedAsync && s.MaxDelay == 0 {
+		s.MaxDelay = 4
+	}
+	return s
+}
+
+// Validate rejects malformed specs with a descriptive error. It checks
+// the spec as a run will see it — with defaults applied — so a validated
+// spec never fails on a defaulted tunable (e.g. gnm's default m=3n is out
+// of range for n <= 6).
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("harness: spec has no name")
+	}
+	if s.N < 2 {
+		return fmt.Errorf("harness: %s: n=%d, want >= 2", s.Name, s.N)
+	}
+	s = s.withDefaults()
+	switch s.Family {
+	case FamilyGNM:
+		if s.M < s.N-1 || s.M > s.N*(s.N-1)/2 {
+			return fmt.Errorf("harness: %s: gnm m=%d outside [n-1, n(n-1)/2]", s.Name, s.M)
+		}
+	case FamilyRing:
+		if s.N < 3 {
+			return fmt.Errorf("harness: %s: ring needs n >= 3", s.Name)
+		}
+	case FamilyGrid:
+		r := int(math.Sqrt(float64(s.N)))
+		if r*r != s.N {
+			return fmt.Errorf("harness: %s: grid needs a square n, got %d", s.Name, s.N)
+		}
+	case FamilyExpander:
+		if s.N < 3 {
+			return fmt.Errorf("harness: %s: expander needs n >= 3", s.Name)
+		}
+		if s.Degree < 4 || s.Degree%2 != 0 {
+			return fmt.Errorf("harness: %s: expander degree %d, want even and >= 4", s.Name, s.Degree)
+		}
+	case FamilyComplete, FamilyTree:
+	default:
+		return fmt.Errorf("harness: %s: unknown family %q", s.Name, s.Family)
+	}
+	switch s.Sched {
+	case SchedSync, SchedAsync:
+	default:
+		return fmt.Errorf("harness: %s: unknown scheduler %q", s.Name, s.Sched)
+	}
+	switch s.Algo {
+	case AlgoMSTBuildAdaptive, AlgoMSTBuildFixed, AlgoSTBuild, AlgoGHS, AlgoFlood:
+		if s.Faults.Total() != 0 {
+			return fmt.Errorf("harness: %s: %s takes no fault script", s.Name, s.Algo)
+		}
+	case AlgoMSTRepair:
+		if s.Faults.Total() == 0 {
+			return fmt.Errorf("harness: %s: repair scenario needs a fault script", s.Name)
+		}
+	case AlgoSTRepair:
+		if s.Faults.Total() == 0 {
+			return fmt.Errorf("harness: %s: repair scenario needs a fault script", s.Name)
+		}
+		if s.Faults.WeightChanges != 0 {
+			return fmt.Errorf("harness: %s: st-repair is unweighted, no weight changes", s.Name)
+		}
+	default:
+		return fmt.Errorf("harness: %s: unknown algorithm %q", s.Name, s.Algo)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"sort"
+
+	"kkt/internal/congest"
+)
+
+// TrialMetrics is the measured cost of one seeded trial.
+type TrialMetrics struct {
+	Trial int    `json:"trial"`
+	Seed  uint64 `json:"seed"`
+
+	// Messages/Bits are the congest counters over the measured section
+	// (the whole run for builds; the fault script for repairs — forest
+	// setup is free). Time is rounds (sync) or virtual time (async).
+	Messages uint64 `json:"messages"`
+	Bits     uint64 `json:"bits"`
+	Time     int64  `json:"time"`
+
+	// Phases is the number of Borůvka phases (build algorithms only).
+	Phases int `json:"phases,omitempty"`
+	// ForestEdges is the size of the final maintained forest.
+	ForestEdges int `json:"forest_edges"`
+	// Valid reports the reference check: exact MSF (weighted) or maximal
+	// spanning forest (unweighted) of the final topology.
+	Valid bool `json:"valid"`
+	// Actions tallies repair outcomes by name (repair scenarios only).
+	Actions map[string]int `json:"actions,omitempty"`
+	// Error is set when the trial failed outright.
+	Error string `json:"error,omitempty"`
+}
+
+// Aggregate summarizes one metric across trials. Percentiles are
+// nearest-rank over the successful trials.
+type Aggregate struct {
+	Mean float64 `json:"mean"`
+	P50  uint64  `json:"p50"`
+	P99  uint64  `json:"p99"`
+	Min  uint64  `json:"min"`
+	Max  uint64  `json:"max"`
+}
+
+// aggregate computes the summary of one metric; zero-valued on no input.
+func aggregate(vals []uint64) Aggregate {
+	if len(vals) == 0 {
+		return Aggregate{}
+	}
+	sorted := append([]uint64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum uint64
+	for _, v := range sorted {
+		sum += v
+	}
+	rank := func(p float64) uint64 {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return Aggregate{
+		Mean: float64(sum) / float64(len(sorted)),
+		P50:  rank(0.50),
+		P99:  rank(0.99),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Summary is the deterministic aggregation of a scenario's trials.
+type Summary struct {
+	Messages Aggregate `json:"messages"`
+	Bits     Aggregate `json:"bits"`
+	Time     Aggregate `json:"time"`
+	// Valid/Failed count trials that passed the reference check / errored.
+	Valid  int `json:"valid"`
+	Failed int `json:"failed"`
+	// Actions sums the per-trial repair tallies.
+	Actions map[string]int `json:"actions,omitempty"`
+	// ByKind sums message traffic per kind across successful trials.
+	ByKind map[string]congest.KindCount `json:"by_kind,omitempty"`
+}
+
+// summarize aggregates trials in index order (deterministic for a fixed
+// trial slice). Errored trials count as Failed and are excluded from the
+// cost aggregates.
+func summarize(trials []TrialMetrics, byKind []map[string]congest.KindCount) Summary {
+	var sum Summary
+	var msgs, bits, times []uint64
+	for i, t := range trials {
+		if t.Error != "" {
+			sum.Failed++
+			continue
+		}
+		if t.Valid {
+			sum.Valid++
+		}
+		msgs = append(msgs, t.Messages)
+		bits = append(bits, t.Bits)
+		times = append(times, uint64(t.Time))
+		for k, v := range t.Actions {
+			if sum.Actions == nil {
+				sum.Actions = make(map[string]int)
+			}
+			sum.Actions[k] += v
+		}
+		if i < len(byKind) {
+			for k, kc := range byKind[i] {
+				if sum.ByKind == nil {
+					sum.ByKind = make(map[string]congest.KindCount)
+				}
+				agg := sum.ByKind[k]
+				agg.Messages += kc.Messages
+				agg.Bits += kc.Bits
+				sum.ByKind[k] = agg
+			}
+		}
+	}
+	sum.Messages = aggregate(msgs)
+	sum.Bits = aggregate(bits)
+	sum.Time = aggregate(times)
+	return sum
+}

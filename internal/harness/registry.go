@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry holds named scenarios. The zero value is not usable; construct
+// with NewRegistry (empty) or Builtin (the standard suite).
+type Registry struct {
+	specs map[string]Spec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: make(map[string]Spec)}
+}
+
+// Register validates the spec and adds it under its name. Duplicate names
+// and invalid specs are rejected.
+func (r *Registry) Register(s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if _, dup := r.specs[s.Name]; dup {
+		return fmt.Errorf("harness: duplicate scenario %q", s.Name)
+	}
+	r.specs[s.Name] = s
+	return nil
+}
+
+// MustRegister is Register but panics on error; for built-in suites whose
+// specs are valid by construction.
+func (r *Registry) MustRegister(s Spec) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the named scenario.
+func (r *Registry) Get(name string) (Spec, bool) {
+	s, ok := r.specs[name]
+	return s, ok
+}
+
+// Names returns all scenario names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Specs returns all scenarios sorted by name.
+func (r *Registry) Specs() []Spec {
+	names := r.Names()
+	out := make([]Spec, len(names))
+	for i, n := range names {
+		out[i] = r.specs[n]
+	}
+	return out
+}
+
+// Match returns the scenarios whose name contains the given substring
+// (all scenarios for the empty string), sorted by name.
+func (r *Registry) Match(substr string) []Spec {
+	var out []Spec
+	for _, s := range r.Specs() {
+		if strings.Contains(s.Name, substr) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

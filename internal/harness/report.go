@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// ReportSchema identifies the bench report format; bump on incompatible
+// changes so downstream tooling can dispatch.
+const ReportSchema = "kkt/bench/v1"
+
+// Report is the top-level bench artifact (the BENCH_*.json payload). It
+// contains only seed-determined data: identical seeds marshal to
+// byte-identical reports regardless of worker count or wall time.
+type Report struct {
+	Schema  string   `json:"schema"`
+	Suite   string   `json:"suite"`
+	Seed    uint64   `json:"seed"`
+	Trials  int      `json:"trials"`
+	Results []Result `json:"results"`
+}
+
+// NewReport assembles a report from a finished run.
+func NewReport(suite string, cfg RunConfig, results []Result) Report {
+	cfg = cfg.Normalized()
+	return Report{
+		Schema:  ReportSchema,
+		Suite:   suite,
+		Seed:    cfg.Seed,
+		Trials:  cfg.Trials,
+		Results: results,
+	}
+}
+
+// MarshalIndent renders the canonical JSON form (two-space indent,
+// trailing newline). Map keys sort, so the bytes are deterministic.
+func (r Report) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteTable renders the human-readable summary table.
+func WriteTable(w io.Writer, results []Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SCENARIO\tN\tSCHED\tTRIALS\tVALID\tMSGS(MEAN)\tMSGS(P50)\tMSGS(P99)\tBITS(MEAN)\tTIME(P50)")
+	for _, res := range results {
+		s := res.Summary
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d/%d\t%.1f\t%d\t%d\t%.1f\t%d\n",
+			res.Spec.Name, res.Spec.N, res.Spec.Sched,
+			len(res.Trials), s.Valid, len(res.Trials),
+			s.Messages.Mean, s.Messages.P50, s.Messages.P99,
+			s.Bits.Mean, s.Time.P50)
+	}
+	return tw.Flush()
+}

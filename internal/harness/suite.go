@@ -1,0 +1,131 @@
+package harness
+
+// Builtin returns the standard scenario suite: every headline path of the
+// paper (MST build under both phase policies, the three repair
+// operations, ST repair via FindAny, GHS and flooding as baselines)
+// across random, ring, grid and expander families, under both schedulers.
+// Sizes are chosen so the whole suite runs in seconds; perf PRs scale N
+// with dedicated specs.
+func Builtin() *Registry {
+	reg := NewRegistry()
+
+	// --- MST Build (paper §3.3), adaptive vs fixed phase policy ---
+	reg.MustRegister(Spec{
+		Name:        "mst-build/gnm/sync",
+		Description: "Build MST (adaptive) on connected G(n,3n), synchronous",
+		Family:      FamilyGNM, N: 64,
+		Sched: SchedSync,
+		Algo:  AlgoMSTBuildAdaptive,
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-build/gnm/async",
+		Description: "Build MST (adaptive) on connected G(n,3n), asynchronous",
+		Family:      FamilyGNM, N: 64,
+		Sched: SchedAsync,
+		Algo:  AlgoMSTBuildAdaptive,
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-build/grid/sync",
+		Description: "Build MST (adaptive) on the 8x8 grid",
+		Family:      FamilyGrid, N: 64,
+		Sched: SchedSync,
+		Algo:  AlgoMSTBuildAdaptive,
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-build/expander/sync",
+		Description: "Build MST (adaptive) on a degree-4 expander",
+		Family:      FamilyExpander, N: 64,
+		Sched: SchedSync,
+		Algo:  AlgoMSTBuildAdaptive,
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-build-fixed/ring/sync",
+		Description: "Build MST with the paper's full fixed phase budget (Lemma 3 worst case)",
+		Family:      FamilyRing, N: 16,
+		Sched: SchedSync,
+		Algo:  AlgoMSTBuildFixed,
+	})
+
+	// --- Impromptu MSF repair storms (paper §3.2) ---
+	reg.MustRegister(Spec{
+		Name:        "mst-repair/gnm/async",
+		Description: "Delete/Insert/WeightChange storm against a maintained MSF on G(n,3n)",
+		Family:      FamilyGNM, N: 48,
+		Sched:  SchedAsync,
+		Algo:   AlgoMSTRepair,
+		Faults: FaultScript{Deletes: 8, Inserts: 8, WeightChanges: 8},
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-repair/grid/sync",
+		Description: "Repair storm on the 7x7 grid, synchronous",
+		Family:      FamilyGrid, N: 49,
+		Sched:  SchedSync,
+		Algo:   AlgoMSTRepair,
+		Faults: FaultScript{Deletes: 6, Inserts: 6, WeightChanges: 6},
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-repair/expander/async",
+		Description: "Repair storm on a degree-4 expander, asynchronous",
+		Family:      FamilyExpander, N: 48,
+		Sched:  SchedAsync,
+		Algo:   AlgoMSTRepair,
+		Faults: FaultScript{Deletes: 8, Inserts: 8, WeightChanges: 8},
+	})
+
+	// --- ST build and repair (paper §4) ---
+	reg.MustRegister(Spec{
+		Name:        "st-build/gnm/sync",
+		Description: "Build ST via FindAny-C on connected G(n,3n)",
+		Family:      FamilyGNM, N: 64,
+		Sched: SchedSync,
+		Algo:  AlgoSTBuild,
+	})
+	reg.MustRegister(Spec{
+		Name:        "st-repair/gnm/async",
+		Description: "Delete/Insert storm against a maintained spanning forest (FindAny)",
+		Family:      FamilyGNM, N: 64,
+		Sched:  SchedAsync,
+		Algo:   AlgoSTRepair,
+		Faults: FaultScript{Deletes: 12, Inserts: 12},
+	})
+	reg.MustRegister(Spec{
+		Name:        "st-repair/ring/sync",
+		Description: "Delete/Insert storm on the ring: every delete is a bridge or near-bridge",
+		Family:      FamilyRing, N: 32,
+		Sched:  SchedSync,
+		Algo:   AlgoSTRepair,
+		Faults: FaultScript{Deletes: 6, Inserts: 6},
+	})
+
+	// --- Baseline comparators ---
+	reg.MustRegister(Spec{
+		Name:        "ghs/gnm/sync",
+		Description: "GHS baseline, O(m + n log n) messages, on G(n,3n)",
+		Family:      FamilyGNM, N: 64,
+		Sched: SchedSync,
+		Algo:  AlgoGHS,
+	})
+	reg.MustRegister(Spec{
+		Name:        "ghs/expander/sync",
+		Description: "GHS baseline on a degree-4 expander",
+		Family:      FamilyExpander, N: 64,
+		Sched: SchedSync,
+		Algo:  AlgoGHS,
+	})
+	reg.MustRegister(Spec{
+		Name:        "flood/gnm/sync",
+		Description: "Flooding micro-benchmark: the Theta(m) folk-theorem floor",
+		Family:      FamilyGNM, N: 64,
+		Sched: SchedSync,
+		Algo:  AlgoFlood,
+	})
+	reg.MustRegister(Spec{
+		Name:        "flood/grid/async",
+		Description: "Flooding on the 8x8 grid under asynchrony",
+		Family:      FamilyGrid, N: 64,
+		Sched: SchedAsync,
+		Algo:  AlgoFlood,
+	})
+
+	return reg
+}

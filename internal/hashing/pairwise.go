@@ -68,4 +68,3 @@ func (h PairwiseHash) PrefixLevel(x uint64) int {
 	}
 	return level
 }
-

@@ -92,8 +92,9 @@ type BuildResult struct {
 	Forest [][2]congest.NodeID
 	// Phases has one entry per executed phase.
 	Phases []PhaseStat
-	// Messages and Rounds are the total cost.
+	// Messages, Bits and Rounds are the total cost.
 	Messages uint64
+	Bits     uint64
 	Rounds   int64
 }
 
@@ -136,6 +137,7 @@ func Build(nw *congest.Network, pr *tree.Protocol, cfg BuildConfig) (BuildResult
 		result.Forest = nw.MarkedEdges()
 		c := nw.Counters()
 		result.Messages = c.Messages
+		result.Bits = c.Bits
 		result.Rounds = nw.Now()
 	}
 	return result, err

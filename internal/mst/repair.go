@@ -57,6 +57,7 @@ func (a Action) String() string {
 type Report struct {
 	Action   Action
 	Messages uint64
+	Bits     uint64
 	Time     int64
 	// Edge is the replacement/marked edge when Action is Reconnected,
 	// Added or Swapped.
@@ -125,8 +126,9 @@ func Delete(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg Rep
 	if err := nw.Run(); err != nil {
 		return rep, err
 	}
-	c := nw.Counters().Sub(before)
+	c := nw.CountersSince(before)
 	rep.Messages = c.Messages
+	rep.Bits = c.Bits
 	rep.Time = nw.Now() - beforeTime
 	return rep, nil
 }
@@ -186,8 +188,9 @@ func settleUnmarked(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID)
 	if err := nw.Run(); err != nil {
 		return rep, err
 	}
-	c := nw.Counters().Sub(before)
+	c := nw.CountersSince(before)
 	rep.Messages = c.Messages
+	rep.Bits = c.Bits
 	rep.Time = nw.Now() - beforeTime
 	return rep, nil
 }
@@ -262,8 +265,9 @@ func deleteStyleRepair(nw *congest.Network, pr *tree.Protocol, a, b congest.Node
 	if err := nw.Run(); err != nil {
 		return rep, err
 	}
-	c := nw.Counters().Sub(before)
+	c := nw.CountersSince(before)
 	rep.Messages = c.Messages
+	rep.Bits = c.Bits
 	rep.Time = nw.Now() - beforeTime
 	return rep, nil
 }

@@ -47,6 +47,7 @@ func (a Action) String() string {
 type Report struct {
 	Action   Action
 	Messages uint64
+	Bits     uint64
 	Time     int64
 	Edge     [2]congest.NodeID
 	Stats    findany.Stats
@@ -108,8 +109,9 @@ func Delete(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg Rep
 	if err := nw.Run(); err != nil {
 		return rep, err
 	}
-	c := nw.Counters().Sub(before)
+	c := nw.CountersSince(before)
 	rep.Messages = c.Messages
+	rep.Bits = c.Bits
 	rep.Time = nw.Now() - beforeTime
 	return rep, nil
 }
@@ -149,8 +151,9 @@ func Insert(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg Rep
 	if err := nw.Run(); err != nil {
 		return rep, err
 	}
-	c := nw.Counters().Sub(before)
+	c := nw.CountersSince(before)
 	rep.Messages = c.Messages
+	rep.Bits = c.Bits
 	rep.Time = nw.Now() - beforeTime
 	return rep, nil
 }

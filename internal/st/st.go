@@ -94,6 +94,7 @@ type BuildResult struct {
 	Forest   [][2]congest.NodeID
 	Phases   []PhaseStat
 	Messages uint64
+	Bits     uint64
 	Rounds   int64
 }
 
@@ -131,6 +132,7 @@ func Build(nw *congest.Network, pr *tree.Protocol, sp *Protocol, cfg BuildConfig
 		result.Forest = nw.MarkedEdges()
 		c := nw.Counters()
 		result.Messages = c.Messages
+		result.Bits = c.Bits
 		result.Rounds = nw.Now()
 	}
 	return result, err
