@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench clean
+.PHONY: build test race vet bench bench-micro bench-ci clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,20 @@ vet:
 
 bench:
 	$(GO) run ./cmd/kkt bench --trials 8 --seed 1 --out BENCH_suite.json
+
+# Micro-benchmarks with allocation reporting: the hot-path contracts
+# (zero allocs on Send/dispatch) regress loudly here.
+bench-micro:
+	$(GO) test -run '^$$' -bench 'BenchmarkSend$$|BenchmarkSendAsync$$' -benchtime 200000x -benchmem ./internal/congest
+	$(GO) test -run '^$$' -bench BenchmarkNewNetwork -benchtime 200x -benchmem ./internal/congest
+	$(GO) test -run '^$$' -bench BenchmarkBuildMST -benchtime 10x -benchmem ./internal/mst
+	$(GO) test -run '^$$' -bench BenchmarkRepairStorm -benchtime 10x -benchmem ./internal/harness
+
+# Short-mode CI bench job: micro-benchmarks plus a 1-trial sweep of the
+# full suite — including the 100k-node and 50k-node scale scenarios —
+# emitting BENCH_ci.json as the per-commit perf artifact.
+bench-ci: bench-micro
+	$(GO) run ./cmd/kkt bench --trials 1 --seed 1 --quiet --out BENCH_ci.json
 
 clean:
 	rm -f BENCH_*.json

@@ -13,8 +13,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync/atomic"
 	"text/tabwriter"
@@ -23,33 +25,67 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "list":
-		err = cmdList(os.Args[2:])
-	case "run":
-		err = cmdRun(os.Args[2:])
-	case "bench":
-		err = cmdBench(os.Args[2:])
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "kkt: unknown command %q\n\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "kkt:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `kkt — experiment harness for the KKT'15 CONGEST algorithms
+// run is the testable entry point: it dispatches a full CLI invocation
+// against the given streams and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "list":
+		err = cmdList(args[1:], stdout, stderr)
+	case "run":
+		err = cmdRun(args[1:], stdout, stderr)
+	case "bench":
+		err = cmdBench(args[1:], stdout, stderr)
+	case "-h", "--help", "help":
+		usage(stderr)
+	default:
+		fmt.Fprintf(stderr, "kkt: unknown command %q\n\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		// -h/--help: the flag set already printed its usage; that is a
+		// successful invocation, not an error.
+		return 0
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		// Bad flags are usage errors (exit 2, like unknown commands); the
+		// flag set already reported them to stderr.
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "kkt:", err)
+		return 1
+	}
+	return 0
+}
+
+// usageError marks a flag-parse failure so run can map it to exit code 2,
+// matching the pre-dispatch usage errors.
+type usageError struct{ error }
+
+// parseFlags wraps fs.Parse, tagging parse failures (other than -h) as
+// usage errors.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err}
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `kkt — experiment harness for the KKT'15 CONGEST algorithms
 
 Commands:
   list   show the registered scenarios
@@ -75,17 +111,25 @@ func addRunFlags(fs *flag.FlagSet, rf *runFlags) {
 	fs.BoolVar(&rf.jsonOut, "json", false, "emit JSON instead of a table")
 }
 
-func cmdList(args []string) error {
-	fs := flag.NewFlagSet("kkt list", flag.ExitOnError)
+// newFlagSet builds a flag set that reports errors to stderr instead of
+// exiting the process, so command functions stay testable.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+func cmdList(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("kkt list", stderr)
 	jsonOut := fs.Bool("json", false, "emit JSON instead of a table")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	specs := harness.Builtin().Specs()
 	if *jsonOut {
-		return writeJSON(specs)
+		return writeJSON(stdout, specs)
 	}
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "SCENARIO\tFAMILY\tN\tSCHED\tALGO\tFAULTS\tDESCRIPTION")
 	for _, s := range specs {
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%d\t%s\n",
@@ -94,11 +138,11 @@ func cmdList(args []string) error {
 	return tw.Flush()
 }
 
-func cmdRun(args []string) error {
-	fs := flag.NewFlagSet("kkt run", flag.ExitOnError)
+func cmdRun(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("kkt run", stderr)
 	var rf runFlags
 	addRunFlags(fs, &rf)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
@@ -106,7 +150,7 @@ func cmdRun(args []string) error {
 	}
 	name := fs.Arg(0)
 	// accept flags after the scenario name too
-	if err := fs.Parse(fs.Args()[1:]); err != nil {
+	if err := parseFlags(fs, fs.Args()[1:]); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
@@ -119,23 +163,23 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if rf.jsonOut {
-		if err := writeJSON(results[0]); err != nil {
+		if err := writeJSON(stdout, results[0]); err != nil {
 			return err
 		}
-	} else if err := harness.WriteTable(os.Stdout, results); err != nil {
+	} else if err := harness.WriteTable(stdout, results); err != nil {
 		return err
 	}
-	return reportTrialErrors(results)
+	return reportTrialErrors(stderr, results)
 }
 
-func cmdBench(args []string) error {
-	fs := flag.NewFlagSet("kkt bench", flag.ExitOnError)
+func cmdBench(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("kkt bench", stderr)
 	var rf runFlags
 	addRunFlags(fs, &rf)
 	filter := fs.String("filter", "", "only scenarios whose name contains this substring")
 	out := fs.String("out", "BENCH_suite.json", "report file path")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	reg := harness.Builtin()
@@ -148,12 +192,12 @@ func cmdBench(args []string) error {
 	var done atomic.Int64
 	if !*quiet {
 		cfg.OnTrialDone = func(spec harness.Spec, trial int) {
-			fmt.Fprintf(os.Stderr, "\r[%d/%d] %-32s", done.Add(1), total, spec.Name)
+			fmt.Fprintf(stderr, "\r[%d/%d] %-32s", done.Add(1), total, spec.Name)
 		}
 	}
 	results := harness.RunAll(specs, cfg)
 	if !*quiet {
-		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(stderr)
 	}
 
 	suite := "builtin"
@@ -169,27 +213,27 @@ func cmdBench(args []string) error {
 		return err
 	}
 	if rf.jsonOut {
-		if _, err := os.Stdout.Write(blob); err != nil {
+		if _, err := stdout.Write(blob); err != nil {
 			return err
 		}
 	} else {
-		if err := harness.WriteTable(os.Stdout, results); err != nil {
+		if err := harness.WriteTable(stdout, results); err != nil {
 			return err
 		}
-		fmt.Printf("\nreport written to %s\n", *out)
+		fmt.Fprintf(stdout, "\nreport written to %s\n", *out)
 	}
-	return reportTrialErrors(results)
+	return reportTrialErrors(stderr, results)
 }
 
 // reportTrialErrors surfaces failed trials on stderr and returns an error
 // if any trial errored (so CI catches regressions).
-func reportTrialErrors(results []harness.Result) error {
+func reportTrialErrors(stderr io.Writer, results []harness.Result) error {
 	failed := 0
 	for _, res := range results {
 		for _, t := range res.Trials {
 			if t.Error != "" {
 				failed++
-				fmt.Fprintf(os.Stderr, "kkt: %s trial %d (seed %d): %s\n", res.Spec.Name, t.Trial, t.Seed, t.Error)
+				fmt.Fprintf(stderr, "kkt: %s trial %d (seed %d): %s\n", res.Spec.Name, t.Trial, t.Seed, t.Error)
 			}
 		}
 	}
@@ -199,8 +243,8 @@ func reportTrialErrors(results []harness.Result) error {
 	return nil
 }
 
-func writeJSON(v any) error {
-	enc := json.NewEncoder(os.Stdout)
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
 }

@@ -1,0 +1,68 @@
+package congest
+
+import (
+	"testing"
+
+	"kkt/internal/graph"
+)
+
+// benchNoop is the interned no-op kind shared by the send benchmarks.
+var benchNoop = Kind("bench.noop")
+
+// BenchmarkSend measures the Send -> schedule -> deliver cycle on the
+// synchronous scheduler: the per-message hot path of every protocol run.
+func BenchmarkSend(b *testing.B) {
+	g := graph.Path(2, 1, graph.UnitWeights())
+	nw := NewNetwork(g)
+	nw.RegisterHandler(benchNoop, func(*Network, *NodeState, *Message) {})
+	nw.Spawn("sender", func(p *Proc) error {
+		for i := 0; i < b.N; i++ {
+			nw.Send(1, 2, benchNoop, 0, 8, nil)
+			if i%1024 == 1023 {
+				p.AwaitQuiescence()
+			}
+		}
+		p.AwaitQuiescence()
+		return nil
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := nw.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSendAsync is BenchmarkSend under the asynchronous scheduler:
+// it additionally exercises the delay draw, per-link FIFO bookkeeping and
+// the priority queue.
+func BenchmarkSendAsync(b *testing.B) {
+	g := graph.Path(2, 1, graph.UnitWeights())
+	nw := NewNetwork(g, WithAsync(4), WithSeed(7))
+	nw.RegisterHandler(benchNoop, func(*Network, *NodeState, *Message) {})
+	nw.Spawn("sender", func(p *Proc) error {
+		for i := 0; i < b.N; i++ {
+			nw.Send(1, 2, benchNoop, 0, 8, nil)
+			if i%1024 == 1023 {
+				p.AwaitQuiescence()
+			}
+		}
+		p.AwaitQuiescence()
+		return nil
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := nw.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkNewNetwork measures network construction, dominated by the
+// per-node neighbour index build.
+func BenchmarkNewNetwork(b *testing.B) {
+	g := graph.Complete(96, 1024, graph.UnitWeights())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewNetwork(g)
+	}
+}

@@ -23,6 +23,13 @@
 // scheduler delivers in lockstep rounds (messages sent in round r arrive
 // in round r+1); the asynchronous scheduler delivers one message at a time
 // with seeded pseudo-random delays and per-link FIFO order.
+//
+// The hot path is allocation-free by design, so 100k-node scenarios run at
+// memory speed: message kinds are interned to small integer KindIDs
+// (dispatch via slice, counters via array), Message structs are recycled
+// through a free list, each node's neighbour index is the sorted Edges
+// slice itself (binary search, no side map), and the async scheduler is a
+// bucketed calendar queue instead of a global binary heap.
 package congest
 
 import (
@@ -46,10 +53,12 @@ type SessionID uint64
 // kind tag and session identifier: O(log n) bits, well within one word.
 const FramingBits = 48
 
-// Message is a single CONGEST message in flight.
+// Message is a single CONGEST message in flight. The engine owns the
+// struct and recycles it through a free list after the handler returns:
+// handlers must not retain a *Message (copy the fields they need).
 type Message struct {
 	From, To NodeID
-	Kind     string
+	Kind     KindID
 	Session  SessionID
 	// Bits is the payload size; FramingBits is added when charging.
 	Bits    int
@@ -74,11 +83,12 @@ type HalfEdge struct {
 // that is the locality discipline of the model.
 type NodeState struct {
 	ID NodeID
-	// Edges lists incident links sorted by neighbour ID.
+	// Edges lists incident links sorted by neighbour ID. The sorted slice
+	// is also the neighbour index: lookups binary-search it, so there is
+	// no side map to rebuild on topology changes.
 	Edges []HalfEdge
 
-	index    map[NodeID]int    // neighbour -> position in Edges
-	sessions map[SessionID]any // per-protocol automaton state
+	sessions map[SessionID]any // per-protocol automaton state, lazily built
 	staged   []stagedMark      // mark changes deferred to the next barrier
 }
 
@@ -92,10 +102,29 @@ type stagedMark struct {
 	marked   bool
 }
 
+// edgePos returns the position of the half-edge toward neighbor in the
+// sorted Edges slice, or -1. Hand-rolled binary search: this is the
+// innermost loop of every Send and delivery.
+func (ns *NodeState) edgePos(neighbor NodeID) int {
+	lo, hi := 0, len(ns.Edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ns.Edges[mid].Neighbor < neighbor {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ns.Edges) && ns.Edges[lo].Neighbor == neighbor {
+		return lo
+	}
+	return -1
+}
+
 // EdgeTo returns the half-edge toward the given neighbour, or nil.
 func (ns *NodeState) EdgeTo(neighbor NodeID) *HalfEdge {
-	i, ok := ns.index[neighbor]
-	if !ok {
+	i := ns.edgePos(neighbor)
+	if i < 0 {
 		return nil
 	}
 	return &ns.Edges[i]
@@ -114,8 +143,8 @@ func (ns *NodeState) SetMark(neighbor NodeID, marked bool) bool {
 
 // StageMark defers marking the edge toward neighbor until the next
 // barrier (ApplyStaged). The edge must exist when the change is applied;
-// staging for a vanished edge is dropped silently (the link was deleted
-// while the instruction was in flight).
+// staging for a vanished edge is dropped at the barrier (the link was
+// deleted while the instruction was in flight) and counted.
 func (ns *NodeState) StageMark(neighbor NodeID) {
 	ns.staged = append(ns.staged, stagedMark{neighbor: neighbor, marked: true})
 }
@@ -125,14 +154,19 @@ func (ns *NodeState) StageUnmark(neighbor NodeID) {
 	ns.staged = append(ns.staged, stagedMark{neighbor: neighbor, marked: false})
 }
 
-// ApplyStaged applies this node's deferred mark changes in order.
-func (ns *NodeState) ApplyStaged() {
+// ApplyStaged applies this node's deferred mark changes in order and
+// returns the number of changes dropped because their edge vanished while
+// the instruction was in flight.
+func (ns *NodeState) ApplyStaged() (dropped int) {
 	for _, s := range ns.staged {
 		if he := ns.EdgeTo(s.neighbor); he != nil {
 			he.Marked = s.marked
+		} else {
+			dropped++
 		}
 	}
-	ns.staged = nil
+	ns.staged = ns.staged[:0]
+	return dropped
 }
 
 // MarkedNeighbors returns the IDs of neighbours joined by marked (tree)
@@ -159,12 +193,16 @@ func (ns *NodeState) SetSessionState(sid SessionID, st any) {
 		delete(ns.sessions, sid)
 		return
 	}
+	if ns.sessions == nil {
+		ns.sessions = make(map[SessionID]any)
+	}
 	ns.sessions[sid] = st
 }
 
 // Handler processes one delivered message at the receiving node. It may
 // mutate the node's local state, send messages via nw.Send, and complete
-// sessions via nw.CompleteSession.
+// sessions via nw.CompleteSession. The *Message is only valid for the
+// duration of the call — the engine recycles it afterwards.
 type Handler func(nw *Network, node *NodeState, msg *Message)
 
 // session tracks one protocol execution and the driver (if any) waiting on
@@ -186,12 +224,13 @@ type session struct {
 // drivers.
 type Network struct {
 	nodes  []*NodeState // index 1..n; index 0 nil
+	states []NodeState  // backing array for nodes, one allocation
 	layout bitwidth.Layout
 	maxRaw uint64
 
 	sched    scheduler
-	counters Counters
-	handlers map[string]Handler
+	counters ledger
+	handlers []Handler // indexed by KindID; nil = not registered here
 
 	sessions    map[SessionID]*session
 	sessionIDs  []SessionID // insertion-ordered, for deterministic sweeps
@@ -202,6 +241,10 @@ type Network struct {
 	runq   []wakeup
 	rng    *rng.RNG
 	budget int
+
+	msgFree []*Message // recycled Message structs
+
+	stagedDrops uint64 // staged mark changes dropped on vanished edges
 
 	running             bool
 	deadlockResolutions int
@@ -243,9 +286,18 @@ func WithAsync(maxDelay int64) Option {
 	}
 }
 
+// halfEdgesByNeighbor sorts a node's incident links by neighbour ID.
+type halfEdgesByNeighbor []HalfEdge
+
+func (h halfEdgesByNeighbor) Len() int           { return len(h) }
+func (h halfEdgesByNeighbor) Less(i, j int) bool { return h[i].Neighbor < h[j].Neighbor }
+func (h halfEdgesByNeighbor) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
 // NewNetwork builds a network with one node per graph vertex and one link
 // per graph edge. No edges are marked; use SetForest or protocol runs to
-// mark.
+// mark. Construction is bulk: per-node edge slices are sized up front,
+// filled, and sorted once — O(deg log deg) per node instead of the O(deg²)
+// of repeated sorted inserts.
 func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 	cfg := config{seed: 1, maxDelay: 8}
 	for _, o := range opts {
@@ -253,24 +305,32 @@ func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 	}
 	nw := &Network{
 		nodes:    make([]*NodeState, g.N+1),
+		states:   make([]NodeState, g.N+1),
 		layout:   g.Layout,
 		maxRaw:   g.MaxRaw,
-		handlers: make(map[string]Handler),
 		sessions: make(map[SessionID]*session),
 		rng:      rng.New(cfg.seed),
 		budget:   g.Layout.MessageBudget,
 	}
-	nw.counters.ByKind = make(map[string]KindCount)
+	deg := make([]int, g.N+1)
+	for _, e := range g.Edges() {
+		deg[e.A]++
+		deg[e.B]++
+	}
 	for v := 1; v <= g.N; v++ {
-		nw.nodes[v] = &NodeState{
-			ID:       NodeID(v),
-			index:    make(map[NodeID]int),
-			sessions: make(map[SessionID]any),
+		ns := &nw.states[v]
+		ns.ID = NodeID(v)
+		if deg[v] > 0 {
+			ns.Edges = make([]HalfEdge, 0, deg[v])
 		}
+		nw.nodes[v] = ns
 	}
 	for _, e := range g.Edges() {
-		nw.addHalf(NodeID(e.A), NodeID(e.B), e.Raw)
-		nw.addHalf(NodeID(e.B), NodeID(e.A), e.Raw)
+		nw.appendHalf(NodeID(e.A), NodeID(e.B), e.Raw)
+		nw.appendHalf(NodeID(e.B), NodeID(e.A), e.Raw)
+	}
+	for v := 1; v <= g.N; v++ {
+		sort.Sort(halfEdgesByNeighbor(nw.nodes[v].Edges))
 	}
 	if cfg.async {
 		nw.sched = newAsyncScheduler(nw.rng.Split(), cfg.maxDelay)
@@ -280,37 +340,43 @@ func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 	return nw
 }
 
-func (nw *Network) addHalf(at, to NodeID, raw uint64) {
-	ns := nw.nodes[at]
+// makeHalf builds the local view of the link at -> to.
+func (nw *Network) makeHalf(at, to NodeID, raw uint64) HalfEdge {
 	num := nw.layout.EdgeNum(uint32(at), uint32(to))
-	he := HalfEdge{
+	return HalfEdge{
 		Neighbor:  to,
 		Raw:       raw,
 		Composite: nw.layout.Composite(raw, num),
 		EdgeNum:   num,
 	}
-	// keep Edges sorted by neighbour ID.
+}
+
+// appendHalf adds a half-edge without maintaining sort order; used only by
+// bulk construction, which sorts once at the end.
+func (nw *Network) appendHalf(at, to NodeID, raw uint64) {
+	ns := nw.nodes[at]
+	ns.Edges = append(ns.Edges, nw.makeHalf(at, to, raw))
+}
+
+// addHalf inserts a half-edge into the sorted Edges slice in place: one
+// binary search plus one memmove, no index rebuild.
+func (nw *Network) addHalf(at, to NodeID, raw uint64) {
+	ns := nw.nodes[at]
+	he := nw.makeHalf(at, to, raw)
 	pos := sort.Search(len(ns.Edges), func(i int) bool { return ns.Edges[i].Neighbor >= to })
 	ns.Edges = append(ns.Edges, HalfEdge{})
 	copy(ns.Edges[pos+1:], ns.Edges[pos:])
 	ns.Edges[pos] = he
-	ns.index = make(map[NodeID]int, len(ns.Edges))
-	for i := range ns.Edges {
-		ns.index[ns.Edges[i].Neighbor] = i
-	}
 }
 
+// removeHalf deletes a half-edge in place, preserving sort order.
 func (nw *Network) removeHalf(at, to NodeID) bool {
 	ns := nw.nodes[at]
-	i, ok := ns.index[to]
-	if !ok {
+	i := ns.edgePos(to)
+	if i < 0 {
 		return false
 	}
 	ns.Edges = append(ns.Edges[:i], ns.Edges[i+1:]...)
-	ns.index = make(map[NodeID]int, len(ns.Edges))
-	for j := range ns.Edges {
-		ns.index[ns.Edges[j].Neighbor] = j
-	}
 	return true
 }
 
@@ -328,39 +394,65 @@ func (nw *Network) MaxRaw() uint64 { return nw.maxRaw }
 func (nw *Network) Node(v NodeID) *NodeState { return nw.nodes[v] }
 
 // RegisterHandler installs the automaton step for a message kind. Kinds
-// are registered once at startup by each protocol package.
-func (nw *Network) RegisterHandler(kind string, h Handler) {
-	if _, dup := nw.handlers[kind]; dup {
+// are interned with Kind and registered once at startup by each protocol
+// package.
+func (nw *Network) RegisterHandler(kind KindID, h Handler) {
+	if kind < 0 || int(kind) >= NumKinds() {
+		panic(fmt.Sprintf("congest: RegisterHandler of uninterned kind %d", int32(kind)))
+	}
+	if h == nil {
+		panic(fmt.Sprintf("congest: nil handler for kind %q", kind))
+	}
+	for int(kind) >= len(nw.handlers) {
+		nw.handlers = append(nw.handlers, nil)
+	}
+	if nw.handlers[kind] != nil {
 		panic(fmt.Sprintf("congest: duplicate handler for kind %q", kind))
 	}
 	nw.handlers[kind] = h
+	nw.counters.ensure(len(nw.handlers))
 }
 
 // HasHandler reports whether a handler for kind is installed.
-func (nw *Network) HasHandler(kind string) bool {
-	_, ok := nw.handlers[kind]
-	return ok
+func (nw *Network) HasHandler(kind KindID) bool {
+	return kind >= 0 && int(kind) < len(nw.handlers) && nw.handlers[kind] != nil
+}
+
+// getMessage pops a recycled Message or allocates a fresh one.
+func (nw *Network) getMessage() *Message {
+	if n := len(nw.msgFree); n > 0 {
+		m := nw.msgFree[n-1]
+		nw.msgFree[n-1] = nil
+		nw.msgFree = nw.msgFree[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+// putMessage returns a delivered (or dropped) Message to the free list.
+func (nw *Network) putMessage(m *Message) {
+	m.Payload = nil // release the reference for GC
+	nw.msgFree = append(nw.msgFree, m)
 }
 
 // Send queues a message from one node to a neighbouring node. It enforces
 // the model: the link must exist and the payload must fit the budget.
 // Every send is charged to the counters.
-func (nw *Network) Send(from, to NodeID, kind string, sid SessionID, bits int, payload any) {
-	if nw.nodes[from].EdgeTo(to) == nil {
+func (nw *Network) Send(from, to NodeID, kind KindID, sid SessionID, bits int, payload any) {
+	if nw.nodes[from].edgePos(to) < 0 {
 		panic(fmt.Sprintf("congest: %d -> %d: no such link (kind %q)", from, to, kind))
 	}
 	total := bits + FramingBits
 	if total > nw.budget {
 		panic(fmt.Sprintf("congest: message kind %q carries %d bits, budget is %d", kind, total, nw.budget))
 	}
-	if _, ok := nw.handlers[kind]; !ok {
+	if !nw.HasHandler(kind) {
 		panic(fmt.Sprintf("congest: no handler registered for kind %q", kind))
 	}
 	nw.nextSeq++
-	m := &Message{
-		From: from, To: to, Kind: kind, Session: sid,
-		Bits: bits, Payload: payload, seq: nw.nextSeq,
-	}
+	m := nw.getMessage()
+	m.From, m.To, m.Kind, m.Session = from, to, kind, sid
+	m.Bits, m.Payload, m.seq = bits, payload, nw.nextSeq
 	nw.counters.charge(kind, total)
 	nw.sched.schedule(m)
 }
@@ -408,9 +500,7 @@ func (nw *Network) CountersSince(earlier Counters) Counters {
 // ResetCounters zeroes the cost ledger. Trial harnesses call it between
 // independent measurements on a reused network; protocol code never
 // should.
-func (nw *Network) ResetCounters() {
-	nw.counters = Counters{ByKind: make(map[string]KindCount)}
-}
+func (nw *Network) ResetCounters() { nw.counters.reset() }
 
 // Now returns the scheduler clock: the round number (sync) or virtual time
 // (async).
@@ -463,12 +553,20 @@ func (nw *Network) MarkedEdges() [][2]NodeID {
 
 // ApplyStaged applies every node's deferred mark changes. Drivers call it
 // right after a barrier: the change is each node's local timeout action
-// and costs no messages.
+// and costs no messages. Changes whose edge vanished in flight are
+// dropped and tallied; see StagedDrops.
 func (nw *Network) ApplyStaged() {
 	for v := 1; v <= nw.N(); v++ {
-		nw.nodes[v].ApplyStaged()
+		nw.stagedDrops += uint64(nw.nodes[v].ApplyStaged())
 	}
 }
+
+// StagedDrops returns the number of staged mark changes that were dropped
+// at a barrier because their edge had been deleted while the instruction
+// was in flight. A non-zero value is not an error — dynamic deletions race
+// repairs by design — but harnesses surface it so silent drops are
+// observable.
+func (nw *Network) StagedDrops() uint64 { return nw.stagedDrops }
 
 // DeleteLink removes the link {a,b} from both endpoints (an adversarial
 // topology change; not charged). It reports whether the link existed and
@@ -489,7 +587,7 @@ func (nw *Network) InsertLink(a, b NodeID, raw uint64) error {
 	if a == b {
 		return fmt.Errorf("congest: self-loop at %d", a)
 	}
-	if nw.nodes[a] == nil || nw.nodes[b] == nil {
+	if int(a) >= len(nw.nodes) || int(b) >= len(nw.nodes) || a == 0 || b == 0 {
 		return fmt.Errorf("congest: no such node in {%d,%d}", a, b)
 	}
 	if nw.nodes[a].EdgeTo(b) != nil {

@@ -17,16 +17,16 @@ func buildNet(t *testing.T, n int, opts ...Option) *Network {
 func TestPingPong(t *testing.T) {
 	nw := buildNet(t, 2)
 	var sid SessionID
-	nw.RegisterHandler("ping", func(nw *Network, node *NodeState, msg *Message) {
-		nw.Send(node.ID, msg.From, "pong", msg.Session, 8, "hi back")
+	nw.RegisterHandler(Kind("ping"), func(nw *Network, node *NodeState, msg *Message) {
+		nw.Send(node.ID, msg.From, Kind("pong"), msg.Session, 8, "hi back")
 	})
-	nw.RegisterHandler("pong", func(nw *Network, node *NodeState, msg *Message) {
+	nw.RegisterHandler(Kind("pong"), func(nw *Network, node *NodeState, msg *Message) {
 		nw.CompleteSession(msg.Session, msg.Payload, nil)
 	})
 	var result any
 	nw.Spawn("pinger", func(p *Proc) error {
 		sid = nw.NewSession(nil)
-		nw.Send(1, 2, "ping", sid, 8, "hi")
+		nw.Send(1, 2, Kind("ping"), sid, 8, "hi")
 		r, err := p.Await(sid)
 		result = r
 		return err
@@ -55,17 +55,17 @@ func TestPingPong(t *testing.T) {
 func TestSyncChainTakesOneRoundPerHop(t *testing.T) {
 	const n = 10
 	nw := buildNet(t, n)
-	nw.RegisterHandler("fwd", func(nw *Network, node *NodeState, msg *Message) {
+	nw.RegisterHandler(Kind("fwd"), func(nw *Network, node *NodeState, msg *Message) {
 		next := node.ID + 1
 		if int(next) > nw.N() {
 			nw.CompleteSession(msg.Session, nil, nil)
 			return
 		}
-		nw.Send(node.ID, next, "fwd", msg.Session, 8, nil)
+		nw.Send(node.ID, next, Kind("fwd"), msg.Session, 8, nil)
 	})
 	nw.Spawn("chain", func(p *Proc) error {
 		sid := nw.NewSession(nil)
-		nw.Send(1, 2, "fwd", sid, 8, nil)
+		nw.Send(1, 2, Kind("fwd"), sid, 8, nil)
 		_, err := p.Await(sid)
 		return err
 	})
@@ -82,24 +82,24 @@ func TestSyncChainTakesOneRoundPerHop(t *testing.T) {
 
 func TestSendToNonNeighborPanics(t *testing.T) {
 	nw := buildNet(t, 3)
-	nw.RegisterHandler("x", func(*Network, *NodeState, *Message) {})
+	nw.RegisterHandler(Kind("x"), func(*Network, *NodeState, *Message) {})
 	defer func() {
 		if recover() == nil {
 			t.Error("send 1->3 on a path should panic")
 		}
 	}()
-	nw.Send(1, 3, "x", 0, 8, nil)
+	nw.Send(1, 3, Kind("x"), 0, 8, nil)
 }
 
 func TestBudgetViolationPanics(t *testing.T) {
 	nw := buildNet(t, 2)
-	nw.RegisterHandler("fat", func(*Network, *NodeState, *Message) {})
+	nw.RegisterHandler(Kind("fat"), func(*Network, *NodeState, *Message) {})
 	defer func() {
 		if recover() == nil {
 			t.Error("oversized message should panic")
 		}
 	}()
-	nw.Send(1, 2, "fat", 0, 100000, nil)
+	nw.Send(1, 2, Kind("fat"), 0, 100000, nil)
 }
 
 func TestUnregisteredKindPanics(t *testing.T) {
@@ -109,18 +109,18 @@ func TestUnregisteredKindPanics(t *testing.T) {
 			t.Error("send of unregistered kind should panic")
 		}
 	}()
-	nw.Send(1, 2, "nope", 0, 8, nil)
+	nw.Send(1, 2, Kind("nope"), 0, 8, nil)
 }
 
 func TestDuplicateHandlerPanics(t *testing.T) {
 	nw := buildNet(t, 2)
-	nw.RegisterHandler("k", func(*Network, *NodeState, *Message) {})
+	nw.RegisterHandler(Kind("k"), func(*Network, *NodeState, *Message) {})
 	defer func() {
 		if recover() == nil {
 			t.Error("duplicate handler should panic")
 		}
 	}()
-	nw.RegisterHandler("k", func(*Network, *NodeState, *Message) {})
+	nw.RegisterHandler(Kind("k"), func(*Network, *NodeState, *Message) {})
 }
 
 func TestDeadlockDetectedAndUnwound(t *testing.T) {
@@ -143,7 +143,7 @@ func TestDeadlockDetectedAndUnwound(t *testing.T) {
 
 func TestChildProcsAndWaitAll(t *testing.T) {
 	nw := buildNet(t, 4)
-	nw.RegisterHandler("echo2", func(nw *Network, node *NodeState, msg *Message) {
+	nw.RegisterHandler(Kind("echo2"), func(nw *Network, node *NodeState, msg *Message) {
 		nw.CompleteSession(msg.Session, int(node.ID), nil)
 	})
 	total := 0
@@ -154,7 +154,7 @@ func TestChildProcsAndWaitAll(t *testing.T) {
 			to := NodeID(i + 1)
 			kids = append(kids, p.Go("kid", func(p *Proc) error {
 				sid := nw.NewSession(nil)
-				nw.Send(from, to, "echo2", sid, 8, nil)
+				nw.Send(from, to, Kind("echo2"), sid, 8, nil)
 				v, err := p.Await(sid)
 				if err != nil {
 					return err
@@ -176,15 +176,15 @@ func TestChildProcsAndWaitAll(t *testing.T) {
 func TestAwaitQuiescenceBarriers(t *testing.T) {
 	nw := buildNet(t, 3)
 	delivered := 0
-	nw.RegisterHandler("slow", func(nw *Network, node *NodeState, msg *Message) {
+	nw.RegisterHandler(Kind("slow"), func(nw *Network, node *NodeState, msg *Message) {
 		delivered++
 		if n := node.ID + 1; int(n) <= nw.N() {
-			nw.Send(node.ID, n, "slow", msg.Session, 8, nil)
+			nw.Send(node.ID, n, Kind("slow"), msg.Session, 8, nil)
 		}
 	})
 	nw.Spawn("driver", func(p *Proc) error {
 		sid := nw.NewSession(nil)
-		nw.Send(1, 2, "slow", sid, 8, nil)
+		nw.Send(1, 2, Kind("slow"), sid, 8, nil)
 		p.AwaitQuiescence()
 		if delivered != 2 {
 			t.Errorf("barrier released early: delivered = %d", delivered)
@@ -202,7 +202,7 @@ func TestAwaitQuiescenceBarriers(t *testing.T) {
 func TestAsyncDeliversEverythingFIFO(t *testing.T) {
 	nw := buildNet(t, 2, WithAsync(16), WithSeed(99))
 	var got []int
-	nw.RegisterHandler("seq", func(nw *Network, node *NodeState, msg *Message) {
+	nw.RegisterHandler(Kind("seq"), func(nw *Network, node *NodeState, msg *Message) {
 		got = append(got, msg.Payload.(int))
 		if len(got) == 10 {
 			nw.CompleteSession(msg.Session, nil, nil)
@@ -211,7 +211,7 @@ func TestAsyncDeliversEverythingFIFO(t *testing.T) {
 	nw.Spawn("sender", func(p *Proc) error {
 		sid := nw.NewSession(nil)
 		for i := 0; i < 10; i++ {
-			nw.Send(1, 2, "seq", sid, 8, i)
+			nw.Send(1, 2, Kind("seq"), sid, 8, i)
 		}
 		_, err := p.Await(sid)
 		return err
@@ -234,7 +234,7 @@ func TestAsyncDeterministicPerSeed(t *testing.T) {
 		g := graph.Ring(8, 1, graph.UnitWeights())
 		nw := NewNetwork(g, WithAsync(10), WithSeed(seed))
 		count := 0
-		nw.RegisterHandler("gossip", func(nw *Network, node *NodeState, msg *Message) {
+		nw.RegisterHandler(Kind("gossip"), func(nw *Network, node *NodeState, msg *Message) {
 			count++
 			if count >= 30 {
 				if count == 30 {
@@ -243,12 +243,12 @@ func TestAsyncDeterministicPerSeed(t *testing.T) {
 				return
 			}
 			for _, he := range node.Edges {
-				nw.Send(node.ID, he.Neighbor, "gossip", msg.Session, 8, nil)
+				nw.Send(node.ID, he.Neighbor, Kind("gossip"), msg.Session, 8, nil)
 			}
 		})
 		nw.Spawn("g", func(p *Proc) error {
 			sid := nw.NewSession(nil)
-			nw.Send(1, 2, "gossip", sid, 8, nil)
+			nw.Send(1, 2, Kind("gossip"), sid, 8, nil)
 			_, err := p.Await(sid)
 			return err
 		})
@@ -265,12 +265,12 @@ func TestAsyncDeterministicPerSeed(t *testing.T) {
 func TestDeleteLinkDropsInFlight(t *testing.T) {
 	nw := buildNet(t, 2)
 	delivered := false
-	nw.RegisterHandler("d", func(nw *Network, node *NodeState, msg *Message) {
+	nw.RegisterHandler(Kind("d"), func(nw *Network, node *NodeState, msg *Message) {
 		delivered = true
 	})
 	nw.Spawn("driver", func(p *Proc) error {
 		sid := nw.NewSession(nil)
-		nw.Send(1, 2, "d", sid, 8, nil)
+		nw.Send(1, 2, Kind("d"), sid, 8, nil)
 		nw.DeleteLink(1, 2) // deleted while in flight
 		p.AwaitQuiescence()
 		nw.CompleteSession(sid, nil, nil)
@@ -281,6 +281,32 @@ func TestDeleteLinkDropsInFlight(t *testing.T) {
 	}
 	if delivered {
 		t.Error("message delivered over deleted link")
+	}
+}
+
+func TestApplyStagedCountsDropsOnVanishedEdges(t *testing.T) {
+	nw := buildNet(t, 3)
+	// Stage marks on {1,2}, then delete the link before the barrier: both
+	// halves must be dropped and counted, not silently discarded.
+	nw.Node(1).StageMark(2)
+	nw.Node(2).StageMark(1)
+	nw.DeleteLink(1, 2)
+	nw.ApplyStaged()
+	if got := nw.StagedDrops(); got != 2 {
+		t.Errorf("StagedDrops = %d, want 2", got)
+	}
+	if len(nw.MarkedEdges()) != 0 {
+		t.Errorf("vanished-edge stage left marks: %v", nw.MarkedEdges())
+	}
+	// A surviving stage still applies, and does not bump the counter.
+	nw.Node(2).StageMark(3)
+	nw.Node(3).StageMark(2)
+	nw.ApplyStaged()
+	if got := nw.StagedDrops(); got != 2 {
+		t.Errorf("StagedDrops after clean barrier = %d, want 2", got)
+	}
+	if me := nw.MarkedEdges(); len(me) != 1 || me[0] != [2]NodeID{2, 3} {
+		t.Errorf("marked edges = %v, want [[2 3]]", me)
 	}
 }
 
@@ -357,13 +383,13 @@ func TestSessionCompletionTwicePanics(t *testing.T) {
 
 func TestCountersSub(t *testing.T) {
 	nw := buildNet(t, 2)
-	nw.RegisterHandler("a", func(*Network, *NodeState, *Message) {})
+	nw.RegisterHandler(Kind("a"), func(*Network, *NodeState, *Message) {})
 	nw.Spawn("d", func(p *Proc) error {
 		sid := nw.NewSession(nil)
-		nw.Send(1, 2, "a", sid, 8, nil)
+		nw.Send(1, 2, Kind("a"), sid, 8, nil)
 		before := nw.Counters()
-		nw.Send(1, 2, "a", sid, 8, nil)
-		nw.Send(2, 1, "a", sid, 8, nil)
+		nw.Send(1, 2, Kind("a"), sid, 8, nil)
+		nw.Send(2, 1, Kind("a"), sid, 8, nil)
 		diff := nw.Counters().Sub(before)
 		if diff.Messages != 2 {
 			t.Errorf("diff messages = %d, want 2", diff.Messages)

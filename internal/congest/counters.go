@@ -12,6 +12,56 @@ type KindCount struct {
 	Bits     uint64
 }
 
+// ledger is the internal cost accumulator: totals plus a per-kind array
+// indexed by KindID. Charging is two adds and two array increments — no
+// map hashing on the per-message hot path. Human-readable maps are built
+// only at snapshot time.
+type ledger struct {
+	messages uint64
+	bits     uint64
+	byKind   []KindCount
+}
+
+// ensure grows the per-kind array to cover n kinds; called from
+// RegisterHandler so charge can index unconditionally.
+func (l *ledger) ensure(n int) {
+	for len(l.byKind) < n {
+		l.byKind = append(l.byKind, KindCount{})
+	}
+}
+
+func (l *ledger) charge(kind KindID, bits int) {
+	l.messages++
+	l.bits += uint64(bits)
+	kc := &l.byKind[kind]
+	kc.Messages++
+	kc.Bits += uint64(bits)
+}
+
+func (l *ledger) reset() {
+	l.messages, l.bits = 0, 0
+	for i := range l.byKind {
+		l.byKind[i] = KindCount{}
+	}
+}
+
+// snapshot renders the ledger as a public Counters value, resolving
+// KindIDs back to names. Kinds with no traffic are omitted, matching the
+// map-based ledger of old.
+func (l *ledger) snapshot() Counters {
+	out := Counters{
+		Messages: l.messages,
+		Bits:     l.bits,
+		ByKind:   make(map[string]KindCount),
+	}
+	for id, kc := range l.byKind {
+		if kc.Messages != 0 || kc.Bits != 0 {
+			out.ByKind[KindID(id).String()] = kc
+		}
+	}
+	return out
+}
+
 // Counters is the cost ledger of a run: total messages and bits, broken
 // down by message kind. Time (rounds or virtual time) is read separately
 // from Network.Now, since it is a property of the schedule, not the
@@ -20,27 +70,6 @@ type Counters struct {
 	Messages uint64
 	Bits     uint64
 	ByKind   map[string]KindCount
-}
-
-func (c *Counters) charge(kind string, bits int) {
-	c.Messages++
-	c.Bits += uint64(bits)
-	kc := c.ByKind[kind]
-	kc.Messages++
-	kc.Bits += uint64(bits)
-	c.ByKind[kind] = kc
-}
-
-func (c *Counters) snapshot() Counters {
-	out := Counters{
-		Messages: c.Messages,
-		Bits:     c.Bits,
-		ByKind:   make(map[string]KindCount, len(c.ByKind)),
-	}
-	for k, v := range c.ByKind {
-		out.ByKind[k] = v
-	}
-	return out
 }
 
 // Sub returns the counters accumulated since the earlier snapshot.

@@ -12,13 +12,13 @@ func twoNodeNetwork(t *testing.T) *Network {
 	g := graph.MustNew(2, 4)
 	g.MustAddEdge(1, 2, 1)
 	nw := NewNetwork(g)
-	nw.RegisterHandler("noop", func(*Network, *NodeState, *Message) {})
+	nw.RegisterHandler(Kind("noop"), func(*Network, *NodeState, *Message) {})
 	return nw
 }
 
 func TestCountersSince(t *testing.T) {
 	nw := twoNodeNetwork(t)
-	nw.Send(1, 2, "noop", 0, 8, nil)
+	nw.Send(1, 2, Kind("noop"), 0, 8, nil)
 	if err := nw.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -27,8 +27,8 @@ func TestCountersSince(t *testing.T) {
 		t.Fatalf("messages = %d, want 1", snap.Messages)
 	}
 
-	nw.Send(2, 1, "noop", 0, 16, nil)
-	nw.Send(1, 2, "noop", 0, 16, nil)
+	nw.Send(2, 1, Kind("noop"), 0, 16, nil)
+	nw.Send(1, 2, Kind("noop"), 0, 16, nil)
 	if err := nw.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestCountersSince(t *testing.T) {
 
 func TestResetCounters(t *testing.T) {
 	nw := twoNodeNetwork(t)
-	nw.Send(1, 2, "noop", 0, 8, nil)
+	nw.Send(1, 2, Kind("noop"), 0, 8, nil)
 	if err := nw.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestResetCounters(t *testing.T) {
 		t.Fatalf("counters not zeroed: %+v", c)
 	}
 	// The ledger still charges after a reset.
-	nw.Send(1, 2, "noop", 0, 8, nil)
+	nw.Send(1, 2, Kind("noop"), 0, 8, nil)
 	if err := nw.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,63 @@
+package congest
+
+import (
+	"fmt"
+	"sync"
+)
+
+// KindID is an interned message-kind identifier. Kinds are interned
+// process-wide by Kind, so protocol packages declare them once at init
+// (`var KindFoo = congest.Kind("pkg.foo")`) and every hot-path structure —
+// handler dispatch, cost counters — indexes by the small integer instead
+// of hashing the name. Human-readable names reappear only at snapshot
+// boundaries (Counters.ByKind, panics, reports).
+type KindID int32
+
+// kindReg is the process-wide intern table. Interning happens at package
+// init and test setup, never on the per-message hot path, so a mutex is
+// fine.
+var kindReg = struct {
+	sync.RWMutex
+	names []string
+	index map[string]KindID
+}{index: make(map[string]KindID)}
+
+// Kind interns a message-kind name and returns its stable ID. Repeated
+// calls with the same name return the same ID. Names must be non-empty.
+func Kind(name string) KindID {
+	if name == "" {
+		panic("congest: empty kind name")
+	}
+	kindReg.RLock()
+	id, ok := kindReg.index[name]
+	kindReg.RUnlock()
+	if ok {
+		return id
+	}
+	kindReg.Lock()
+	defer kindReg.Unlock()
+	if id, ok := kindReg.index[name]; ok {
+		return id
+	}
+	id = KindID(len(kindReg.names))
+	kindReg.names = append(kindReg.names, name)
+	kindReg.index[name] = id
+	return id
+}
+
+// String returns the interned name, implementing fmt.Stringer.
+func (k KindID) String() string {
+	kindReg.RLock()
+	defer kindReg.RUnlock()
+	if k < 0 || int(k) >= len(kindReg.names) {
+		return fmt.Sprintf("KindID(%d)", int32(k))
+	}
+	return kindReg.names[k]
+}
+
+// NumKinds returns the number of interned kinds.
+func NumKinds() int {
+	kindReg.RLock()
+	defer kindReg.RUnlock()
+	return len(kindReg.names)
+}

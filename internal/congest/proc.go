@@ -137,20 +137,20 @@ func (nw *Network) Run() error {
 			wu.p.resume <- wu.w
 			<-wu.p.yield
 		}
-		// 2. Deliver the next batch of messages.
+		// 2. Deliver the next batch of messages. Batch slices are owned by
+		// the scheduler and recycled; delivered messages go back to the
+		// free list, so steady-state delivery allocates nothing.
 		if batch := nw.sched.nextBatch(); batch != nil {
-			for _, m := range batch {
-				h, ok := nw.handlers[m.Kind]
-				if !ok {
-					return fmt.Errorf("congest: no handler for kind %q", m.Kind)
-				}
+			for i, m := range batch {
+				h := nw.handlers[m.Kind] // non-nil: Send checks registration
 				node := nw.nodes[m.To]
-				if node.EdgeTo(m.From) == nil {
-					// The link vanished while the message was in
-					// flight (dynamic deletion). The model drops it.
-					continue
+				if node.edgePos(m.From) >= 0 {
+					h(nw, node, m)
 				}
-				h(nw, node, m)
+				// else: the link vanished while the message was in flight
+				// (dynamic deletion). The model drops it.
+				nw.putMessage(m)
+				batch[i] = nil
 			}
 			continue
 		}

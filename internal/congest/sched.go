@@ -10,6 +10,10 @@ import (
 // message; nextBatch removes and returns the next messages to deliver
 // (one synchronous round's worth, or a single asynchronous event);
 // empty reports whether anything is still in flight; now is the clock.
+//
+// The slice returned by nextBatch is owned by the scheduler and is only
+// valid until the next call — the engine consumes it immediately and nils
+// the entries, so buffers recycle without allocation.
 type scheduler interface {
 	schedule(m *Message)
 	nextBatch() []*Message
@@ -19,9 +23,12 @@ type scheduler interface {
 
 // syncScheduler delivers in lockstep rounds: everything sent during round
 // r is delivered together at round r+1, in send order (deterministic).
+// Two buffers ping-pong between "accumulating" and "being delivered", so
+// steady-state rounds allocate nothing.
 type syncScheduler struct {
 	round   int64
 	pending []*Message
+	spare   []*Message // last delivered batch, recycled next round
 }
 
 func newSyncScheduler() *syncScheduler { return &syncScheduler{} }
@@ -37,7 +44,8 @@ func (s *syncScheduler) nextBatch() []*Message {
 	}
 	s.round++
 	batch := s.pending
-	s.pending = nil
+	s.pending = s.spare[:0]
+	s.spare = batch
 	return batch
 }
 
@@ -48,21 +56,66 @@ func (s *syncScheduler) now() int64  { return s.round }
 // deliver time = send time + uniform delay in [1, maxDelay], with FIFO
 // order preserved per directed link (messages on one link never overtake).
 // Ties break by send sequence, so runs are deterministic per seed.
+//
+// The priority queue is a bucketed calendar queue: a ring of width-1 time
+// buckets covering the window (clock, clock+span), plus a small binary
+// heap for the tail of far-future events (per-link FIFO bumping can push
+// deliveries arbitrarily far ahead). Near-term events — the common case,
+// since delays are bounded by maxDelay — are appended to their bucket and
+// popped in O(1) amortized, with no heap sift and no allocation in steady
+// state. Bucket append order equals (deliverAt, seq) order: direct inserts
+// happen in send order, and overflow events drain into the ring (in heap
+// order) before any later send can share their bucket.
 type asyncScheduler struct {
 	clock    int64
 	maxDelay int64
 	r        *rng.RNG
-	q        messageHeap
 	lastOn   map[uint64]int64 // directed link key -> last scheduled deliverAt
+
+	ring     []calBucket // len is a power of two
+	mask     int64
+	span     int64 // window length; ring entries satisfy deliverAt - clock < span
+	inRing   int
+	overflow messageHeap
+	out      [1]*Message // reusable single-message batch
+}
+
+// calBucket is one calendar-queue time slot: a slice consumed front to
+// back. head indexes the next undelivered entry; once drained the slice
+// resets to its full backing array, so buckets stop allocating once warm.
+type calBucket struct {
+	head int
+	msgs []*Message
 }
 
 func newAsyncScheduler(r *rng.RNG, maxDelay int64) *asyncScheduler {
-	return &asyncScheduler{maxDelay: maxDelay, r: r, lastOn: make(map[uint64]int64)}
+	span := int64(16)
+	for span < 4*maxDelay {
+		span *= 2
+	}
+	const maxSpan = 1 << 12
+	if span > maxSpan {
+		span = maxSpan
+	}
+	return &asyncScheduler{
+		maxDelay: maxDelay,
+		r:        r,
+		lastOn:   make(map[uint64]int64),
+		ring:     make([]calBucket, span),
+		mask:     span - 1,
+		span:     span,
+	}
 }
 
 func linkKey(from, to NodeID) uint64 { return uint64(from)<<32 | uint64(to) }
 
 func (s *asyncScheduler) schedule(m *Message) {
+	// Drain first: an overflow event whose time has entered the window
+	// must reach its bucket before any later send that could share it,
+	// or the bucket's append order would no longer be (deliverAt, seq).
+	if len(s.overflow) > 0 {
+		s.drainOverflow()
+	}
 	delay := 1 + int64(s.r.Uint64n(uint64(s.maxDelay)))
 	at := s.clock + delay
 	key := linkKey(m.From, m.To)
@@ -71,24 +124,73 @@ func (s *asyncScheduler) schedule(m *Message) {
 	}
 	s.lastOn[key] = at
 	m.deliverAt = at
-	heap.Push(&s.q, m)
+	s.push(m)
+}
+
+// push files a message into the ring if it lands inside the current
+// window, else into the overflow heap.
+func (s *asyncScheduler) push(m *Message) {
+	if m.deliverAt-s.clock < s.span {
+		b := &s.ring[m.deliverAt&s.mask]
+		b.msgs = append(b.msgs, m)
+		s.inRing++
+		return
+	}
+	heap.Push(&s.overflow, m)
+}
+
+// drainOverflow moves overflow events that have entered the window into
+// their ring buckets, preserving (deliverAt, seq) order.
+func (s *asyncScheduler) drainOverflow() {
+	for len(s.overflow) > 0 && s.overflow[0].deliverAt-s.clock < s.span {
+		s.push(heap.Pop(&s.overflow).(*Message))
+	}
 }
 
 func (s *asyncScheduler) nextBatch() []*Message {
-	if s.q.Len() == 0 {
-		return nil
+	for {
+		s.drainOverflow()
+		if s.inRing > 0 {
+			break
+		}
+		if len(s.overflow) == 0 {
+			return nil
+		}
+		// Quiet stretch: jump the window to the earliest far event. The
+		// clock is observable only after a delivery, which will set it to
+		// that event's time anyway.
+		s.clock = s.overflow[0].deliverAt - 1
 	}
-	m := heap.Pop(&s.q).(*Message)
-	if m.deliverAt > s.clock {
-		s.clock = m.deliverAt
+	// Scan forward from the clock (leftover same-tick entries first). Each
+	// bucket holds exactly one deliverAt at a time, so the first non-empty
+	// bucket is the global minimum.
+	t := s.clock
+	for {
+		b := &s.ring[t&s.mask]
+		if b.head < len(b.msgs) {
+			m := b.msgs[b.head]
+			b.msgs[b.head] = nil
+			b.head++
+			if b.head == len(b.msgs) {
+				b.msgs = b.msgs[:0]
+				b.head = 0
+			}
+			s.inRing--
+			if m.deliverAt > s.clock {
+				s.clock = m.deliverAt
+			}
+			s.out[0] = m
+			return s.out[:1]
+		}
+		t++
 	}
-	return []*Message{m}
 }
 
-func (s *asyncScheduler) empty() bool { return s.q.Len() == 0 }
+func (s *asyncScheduler) empty() bool { return s.inRing == 0 && len(s.overflow) == 0 }
 func (s *asyncScheduler) now() int64  { return s.clock }
 
-// messageHeap orders by (deliverAt, seq).
+// messageHeap orders by (deliverAt, seq); it backs the calendar queue's
+// far-future overflow.
 type messageHeap []*Message
 
 func (h messageHeap) Len() int { return len(h) }

@@ -10,10 +10,10 @@ import (
 	"kkt/internal/congest"
 )
 
-// Message kinds.
-const (
-	KindJoin   = "flood.join"   // flood wave
-	KindParent = "flood.parent" // child -> parent notification
+// Message kinds, interned once at package init.
+var (
+	KindJoin   = congest.Kind("flood.join")   // flood wave
+	KindParent = congest.Kind("flood.parent") // child -> parent notification
 )
 
 // Protocol is the per-network flooding instance.

@@ -23,12 +23,12 @@ import (
 	"kkt/internal/tree"
 )
 
-// Message kinds.
-const (
-	KindFrag   = "ghs.frag"   // fragment-identity broadcast
-	KindTest   = "ghs.test"   // edge probe
-	KindStatus = "ghs.status" // accept/reject reply
-	KindReport = "ghs.report" // convergecast of the minimum candidate
+// Message kinds, interned once at package init.
+var (
+	KindFrag   = congest.Kind("ghs.frag")   // fragment-identity broadcast
+	KindTest   = congest.Kind("ghs.test")   // edge probe
+	KindStatus = congest.Kind("ghs.status") // accept/reject reply
+	KindReport = congest.Kind("ghs.report") // convergecast of the minimum candidate
 )
 
 // candidate is a minimum-outgoing-edge candidate.
@@ -54,8 +54,8 @@ type nodeState struct {
 	probing   bool      // a test is in flight
 	reported  bool      // report went up (or completed, at the root)
 	probes    []congest.NodeID
-	deferred  []*congest.Message // tests from the next phase, answered on entry
-	session   congest.SessionID  // root only: fragment session to complete
+	deferred  []deferredTest    // tests from the next phase, answered on entry
+	session   congest.SessionID // root only: fragment session to complete
 }
 
 // Protocol is the per-network GHS instance.
@@ -198,10 +198,18 @@ func (g *Protocol) enterPhase(node *congest.NodeState, st *nodeState, phase int,
 	// answer probes that arrived before we entered the phase.
 	deferred := st.deferred
 	st.deferred = nil
-	for _, m := range deferred {
-		g.onTest(g.nw, node, m)
+	for _, d := range deferred {
+		g.answerTest(g.nw, node, d.from, d.tm)
 	}
 	g.advanceProbe(node, st)
+}
+
+// deferredTest is a probe that arrived ahead of its phase; the payload is
+// copied out of the Message, which the engine recycles after the handler
+// returns.
+type deferredTest struct {
+	from congest.NodeID
+	tm   testMsg
 }
 
 type fragMsg struct {
@@ -260,18 +268,21 @@ func (g *Protocol) onFrag(nw *congest.Network, node *congest.NodeState, msg *con
 }
 
 func (g *Protocol) onTest(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
-	tm := msg.Payload.(testMsg)
+	g.answerTest(nw, node, msg.From, msg.Payload.(testMsg))
+}
+
+func (g *Protocol) answerTest(nw *congest.Network, node *congest.NodeState, from congest.NodeID, tm testMsg) {
 	st := g.state[node.ID]
 	if tm.Phase > st.phase {
-		st.deferred = append(st.deferred, msg)
+		st.deferred = append(st.deferred, deferredTest{from: from, tm: tm})
 		return
 	}
 	accept := st.fragID != tm.FragID
 	if !accept {
 		// internal forever: cache the rejection on this side too.
-		st.rejected[msg.From] = true
+		st.rejected[from] = true
 	}
-	nw.Send(node.ID, msg.From, KindStatus, 0, 8, accept)
+	nw.Send(node.ID, from, KindStatus, 0, 8, accept)
 }
 
 func (g *Protocol) onStatus(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {

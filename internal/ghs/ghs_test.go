@@ -123,7 +123,7 @@ func TestGHSRejectCachePersists(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tests := nw.Counters().ByKind[KindTest].Messages
+	tests := nw.Counters().ByKind[KindTest.String()].Messages
 	// every edge can be probed twice total in the reject direction plus
 	// one accept per node per phase.
 	bound := uint64(2*g.M()) + uint64(g.N*res.Phases)

@@ -1,0 +1,26 @@
+package harness
+
+import "testing"
+
+// BenchmarkRepairStorm measures one full repair-storm trial — forest
+// setup, a Delete/Insert/WeightChange fault script against the maintained
+// MSF under the async scheduler, and the reference check.
+func BenchmarkRepairStorm(b *testing.B) {
+	spec := Spec{
+		Name:   "bench/mst-repair",
+		Family: FamilyGNM, N: 48,
+		Sched:  SchedAsync,
+		Algo:   AlgoMSTRepair,
+		Faults: FaultScript{Deletes: 8, Inserts: 8, WeightChanges: 8},
+	}
+	if err := spec.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunTrial(spec, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

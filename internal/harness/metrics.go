@@ -27,6 +27,11 @@ type TrialMetrics struct {
 	Valid bool `json:"valid"`
 	// Actions tallies repair outcomes by name (repair scenarios only).
 	Actions map[string]int `json:"actions,omitempty"`
+	// StagedDrops counts staged mark changes dropped at a barrier because
+	// their edge was deleted while the instruction was in flight. Non-zero
+	// only when dynamic deletions race repairs; surfaced so the drop path
+	// is observable instead of silent.
+	StagedDrops uint64 `json:"staged_drops,omitempty"`
 	// Error is set when the trial failed outright.
 	Error string `json:"error,omitempty"`
 }
@@ -81,6 +86,8 @@ type Summary struct {
 	Failed int `json:"failed"`
 	// Actions sums the per-trial repair tallies.
 	Actions map[string]int `json:"actions,omitempty"`
+	// StagedDrops sums the per-trial staged-mark drop counts.
+	StagedDrops uint64 `json:"staged_drops,omitempty"`
 	// ByKind sums message traffic per kind across successful trials.
 	ByKind map[string]congest.KindCount `json:"by_kind,omitempty"`
 }
@@ -102,6 +109,7 @@ func summarize(trials []TrialMetrics, byKind []map[string]congest.KindCount) Sum
 		msgs = append(msgs, t.Messages)
 		bits = append(bits, t.Bits)
 		times = append(times, uint64(t.Time))
+		sum.StagedDrops += t.StagedDrops
 		for k, v := range t.Actions {
 			if sum.Actions == nil {
 				sum.Actions = make(map[string]int)

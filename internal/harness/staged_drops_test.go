@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSummarizeSumsStagedDrops locks in that the per-trial staged-drop
+// counts surface in the scenario summary, excluding errored trials like
+// every other cost metric.
+func TestSummarizeSumsStagedDrops(t *testing.T) {
+	trials := []TrialMetrics{
+		{Valid: true, StagedDrops: 2},
+		{Valid: true, StagedDrops: 3},
+		{Error: "boom", StagedDrops: 99},
+	}
+	s := summarize(trials, nil)
+	if s.StagedDrops != 5 {
+		t.Errorf("summary staged drops = %d, want 5 (errored trial excluded)", s.StagedDrops)
+	}
+}
+
+// TestStagedDropsOmittedWhenZero pins the report-compatibility contract:
+// trials without drops marshal exactly as before the field existed, so
+// unchanged scenarios keep byte-identical BENCH_*.json reports.
+func TestStagedDropsOmittedWhenZero(t *testing.T) {
+	clean, err := json.Marshal(TrialMetrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(clean), "staged_drops") {
+		t.Errorf("zero staged_drops serialized: %s", clean)
+	}
+	dropped, err := json.Marshal(TrialMetrics{StagedDrops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dropped), `"staged_drops":1`) {
+		t.Errorf("non-zero staged_drops missing: %s", dropped)
+	}
+}

@@ -97,6 +97,25 @@ func Builtin() *Registry {
 		Faults: FaultScript{Deletes: 6, Inserts: 6},
 	})
 
+	// --- Production-scale stress scenarios ---
+	// These prove the zero-alloc core at scale: the whole point of the
+	// interned-kind dispatch, pooled messages and calendar queue is that
+	// 100k-node runs are bounded by protocol work, not simulator overhead.
+	reg.MustRegister(Spec{
+		Name:        "flood/gnm-100k/sync",
+		Description: "Theta(m) flood across 100k nodes / 300k edges: raw dispatch throughput",
+		Family:      FamilyGNM, N: 100_000,
+		Sched: SchedSync,
+		Algo:  AlgoFlood,
+	})
+	reg.MustRegister(Spec{
+		Name:        "ghs/expander-50k/sync",
+		Description: "GHS baseline on a degree-4 expander at 50k nodes",
+		Family:      FamilyExpander, N: 50_000,
+		Sched: SchedSync,
+		Algo:  AlgoGHS,
+	})
+
 	// --- Baseline comparators ---
 	reg.MustRegister(Spec{
 		Name:        "ghs/gnm/sync",

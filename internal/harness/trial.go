@@ -132,6 +132,7 @@ func RunTrial(spec Spec, seed uint64) (m TrialMetrics, byKind map[string]congest
 	default:
 		return m, nil, fmt.Errorf("harness: unknown algorithm %q", s.Algo)
 	}
+	m.StagedDrops = nw.StagedDrops()
 	return m, nw.Counters().ByKind, nil
 }
 
@@ -232,6 +233,7 @@ func runRepairStorm(s Spec, nw *congest.Network, pr *tree.Protocol, g *graph.Gra
 	delta := nw.CountersSince(base)
 	m.Messages, m.Bits = delta.Messages, delta.Bits
 	m.Time = nw.Now() - baseTime
+	m.StagedDrops = nw.StagedDrops()
 
 	// Reference check against the final (mutated) topology.
 	final, marked := graphFromNetwork(nw)

@@ -1,0 +1,26 @@
+package mst
+
+import (
+	"testing"
+
+	"kkt/internal/congest"
+	"kkt/internal/graph"
+	"kkt/internal/rng"
+	"kkt/internal/tree"
+)
+
+// BenchmarkBuildMST measures a full Build MST run — network construction,
+// Borůvka phases, FindMin-C searches — on a connected G(n,3n).
+func BenchmarkBuildMST(b *testing.B) {
+	r := rng.New(11)
+	g := graph.GNM(r, 128, 384, 1024, graph.UniformWeights(r, 1024))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := congest.NewNetwork(g, congest.WithSeed(uint64(i)+1))
+		pr := tree.Attach(nw)
+		if _, err := Build(nw, pr, DefaultBuild(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

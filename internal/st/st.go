@@ -22,8 +22,8 @@ import (
 	"kkt/internal/tree"
 )
 
-// KindExclude is the cycle-breaking message kind.
-const KindExclude = "st.exclude"
+// KindExclude is the cycle-breaking message kind, interned at package init.
+var KindExclude = congest.Kind("st.exclude")
 
 // Protocol carries the ST-specific handler state: each cycle-breaking
 // session's node picks (each node's pick is node-local knowledge — its

@@ -16,7 +16,7 @@ type ChildEcho struct {
 // Emit lets OnDown side effects send extra protocol messages from the
 // receiving node (e.g. forwarding an add-edge instruction across the new
 // edge).
-type Emit func(to congest.NodeID, kind string, bits int, payload any)
+type Emit func(to congest.NodeID, kind congest.KindID, bits int, payload any)
 
 // Spec describes one broadcast-and-echo: what the root broadcasts, what
 // each node computes locally, and how echoes aggregate. The functions are
@@ -77,17 +77,18 @@ func (pr *Protocol) BroadcastEcho(p *congest.Proc, root congest.NodeID, spec *Sp
 // compute, forwarding, and the immediate echo when the node is a leaf.
 func (pr *Protocol) runDownAt(node *congest.NodeState, sid congest.SessionID, spec *Spec, st *beState) {
 	if spec.OnDown != nil {
-		spec.OnDown(node, spec.Down, func(to congest.NodeID, kind string, bits int, payload any) {
+		spec.OnDown(node, spec.Down, func(to congest.NodeID, kind congest.KindID, bits int, payload any) {
 			pr.nw.Send(node.ID, to, kind, sid, bits, payload)
 		})
 	}
 	if spec.Local != nil {
 		st.local = spec.Local(node, spec.Down)
 	}
-	for _, nb := range node.MarkedNeighbors() {
-		if nb != st.parent {
+	for i := range node.Edges {
+		he := &node.Edges[i]
+		if he.Marked && he.Neighbor != st.parent {
 			st.expected++
-			pr.nw.Send(node.ID, nb, KindDown, sid, spec.DownBits, spec.Down)
+			pr.nw.Send(node.ID, he.Neighbor, KindDown, sid, spec.DownBits, spec.Down)
 		}
 	}
 	if st.expected == 0 {

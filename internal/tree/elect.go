@@ -73,19 +73,29 @@ func (pr *Protocol) electMaybeAct(node *congest.NodeState, sid congest.SessionID
 	if st.decided {
 		return
 	}
-	marked := node.MarkedNeighbors()
-	if len(marked) == 0 {
+	// Inline walk over the sorted edge slice: this runs once per received
+	// token, so it must not allocate a neighbour list.
+	marked, pending := 0, 0
+	var firstPending congest.NodeID
+	for i := range node.Edges {
+		he := &node.Edges[i]
+		if !he.Marked {
+			continue
+		}
+		marked++
+		if !st.received[he.Neighbor] {
+			pending++
+			if pending == 1 {
+				firstPending = he.Neighbor
+			}
+		}
+	}
+	if marked == 0 {
 		st.decided = true
 		st.isLeader = true
 		return
 	}
-	var pending []congest.NodeID
-	for _, nb := range marked {
-		if !st.received[nb] {
-			pending = append(pending, nb)
-		}
-	}
-	switch len(pending) {
+	switch pending {
 	case 0:
 		st.decided = true
 		if st.sentTo == 0 {
@@ -95,8 +105,8 @@ func (pr *Protocol) electMaybeAct(node *congest.NodeState, sid congest.SessionID
 		}
 	case 1:
 		if st.sentTo == 0 {
-			st.sentTo = pending[0]
-			pr.nw.Send(node.ID, pending[0], KindToken, sid, 8, nil)
+			st.sentTo = firstPending
+			pr.nw.Send(node.ID, firstPending, KindToken, sid, 8, nil)
 		}
 	}
 }

@@ -24,12 +24,12 @@ import (
 	"kkt/internal/rng"
 )
 
-// Message kinds registered by Attach.
-const (
-	KindDown  = "tree.down"  // broadcast phase of broadcast-and-echo
-	KindUp    = "tree.up"    // echo phase of broadcast-and-echo
-	KindToken = "tree.token" // leader-election token
-	KindMarkX = "tree.markx" // cross-edge mark request (add-edge forwarding)
+// Message kinds registered by Attach, interned once at package init.
+var (
+	KindDown  = congest.Kind("tree.down")  // broadcast phase of broadcast-and-echo
+	KindUp    = congest.Kind("tree.up")    // echo phase of broadcast-and-echo
+	KindToken = congest.Kind("tree.token") // leader-election token
+	KindMarkX = congest.Kind("tree.markx") // cross-edge mark request (add-edge forwarding)
 )
 
 // Protocol is the per-network instance holding session specs and the
