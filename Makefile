@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-micro bench-ci clean
+.PHONY: build test race vet bench bench-micro bench-ci bench-baseline bench-check clean
 
 build:
 	$(GO) build ./...
@@ -31,5 +31,19 @@ bench-micro:
 bench-ci: bench-micro
 	$(GO) run ./cmd/kkt bench --trials 1 --seed 1 --quiet --out BENCH_ci.json
 
+# Refresh the committed perf baseline from the pinned micro-benchmarks.
+# Run on the reference machine after an intentional perf change, commit
+# the result.
+bench-baseline:
+	$(MAKE) bench-micro | $(GO) run ./cmd/benchcheck parse -o BENCH_baseline.json
+
+# Perf regression gate: re-measure the pinned micro-benchmarks and compare
+# against the committed baseline. Fails on any allocs/op increase, or on a
+# >20% ns/op increase when measured on the same CPU as the baseline
+# (cross-machine wall-clock is noise; allocation counts are deterministic).
+bench-check:
+	$(MAKE) bench-micro | $(GO) run ./cmd/benchcheck parse -o BENCH_micro_ci.json
+	$(GO) run ./cmd/benchcheck compare -baseline BENCH_baseline.json -fresh BENCH_micro_ci.json
+
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_ci.json BENCH_suite.json BENCH_micro_ci.json

@@ -47,7 +47,30 @@ type NodeID uint32
 // SessionID identifies one protocol execution (one broadcast-and-echo, one
 // election wave, ...). Messages carry it so concurrent executions on
 // overlapping trees do not interfere.
+//
+// The ID packs a recycled slot index (low bits) with a monotonically
+// increasing serial (high bits). The slot indexes the engine's flat
+// session table — no map on the hot path — and the serial acts as the
+// slot's generation stamp: a stale ID whose slot has been reused fails the
+// stamp check and resolves to "unknown session".
 type SessionID uint64
+
+// sessSlotBits is the width of the slot field in a SessionID: up to ~4M
+// concurrent sessions, leaving 42 bits of serial (never wraps in practice).
+const (
+	sessSlotBits = 22
+	sessSlotMask = 1<<sessSlotBits - 1
+)
+
+// Slot returns the session's slot index in the engine's session table.
+// Protocol layers use it to key their own slot-indexed side tables.
+func (sid SessionID) Slot() int { return int(sid & sessSlotMask) }
+
+// Serial returns the session's creation serial: the n-th NewSession call
+// on a network returns serial n. Serials are what deterministic derived
+// randomness (e.g. tree.Protocol.NodeRand) should hash, since they do not
+// depend on slot recycling order.
+func (sid SessionID) Serial() uint64 { return uint64(sid >> sessSlotBits) }
 
 // FramingBits is charged on top of each message's declared payload for the
 // kind tag and session identifier: O(log n) bits, well within one word.
@@ -63,6 +86,10 @@ type Message struct {
 	// Bits is the payload size; FramingBits is added when charging.
 	Bits    int
 	Payload any
+	// U is the unboxed single-word payload lane (SendU): protocol words
+	// (parities, XORs, counters) travel here without interface boxing.
+	// Valid only for messages sent with SendU; Payload is nil then.
+	U uint64
 
 	seq       uint64 // global send order, for deterministic tie-breaks
 	deliverAt int64  // async delivery time (sync: round number)
@@ -76,6 +103,13 @@ type HalfEdge struct {
 	Composite uint64 // unique composite weight (raw . edgeNum)
 	EdgeNum   uint64 // paper's edge number (IDs concatenated, smallest first)
 	Marked    bool   // does this endpoint consider the edge a tree edge?
+
+	// lastSched is the async scheduler's per-directed-link FIFO state: the
+	// deliverAt of the last message scheduled from this endpoint to
+	// Neighbor. Folding it into the half-edge removes the last map from the
+	// async hot path; deleted links stash the value in Network.fifoTomb so
+	// a delete/reinsert keeps the exact FIFO semantics of the old map.
+	lastSched int64
 }
 
 // NodeState is the entire local state of one processor. Protocol code
@@ -88,8 +122,21 @@ type NodeState struct {
 	// no side map to rebuild on topology changes.
 	Edges []HalfEdge
 
-	sessions map[SessionID]any // per-protocol automaton state, lazily built
-	staged   []stagedMark      // mark changes deferred to the next barrier
+	// sess holds per-protocol automaton state keyed by session ID: a tiny
+	// linear-scanned vector instead of a map, because a node participates
+	// in at most a handful of sessions at once (its fragment's
+	// broadcast-and-echo plus a global election). The full packed ID —
+	// slot plus generation serial — is compared, so a recycled slot can
+	// never alias a stale entry. Entry capacity is retained across
+	// sessions, so steady-state stores allocate nothing.
+	sess   []sessEntry
+	staged []stagedMark // mark changes deferred to the next barrier
+}
+
+// sessEntry is one node-local (session, automaton state) binding.
+type sessEntry struct {
+	sid   SessionID
+	state any
 }
 
 // stagedMark is a deferred mark change, applied at a synchronisation
@@ -129,6 +176,12 @@ func (ns *NodeState) EdgeTo(neighbor NodeID) *HalfEdge {
 	}
 	return &ns.Edges[i]
 }
+
+// EdgeIndex returns the position of the half-edge toward neighbor in the
+// sorted Edges slice, or -1. Protocol code uses it to key per-edge bitmask
+// state (e.g. election receipt bits) by edge position instead of by a
+// neighbour-ID map.
+func (ns *NodeState) EdgeIndex(neighbor NodeID) int { return ns.edgePos(neighbor) }
 
 // SetMark sets this endpoint's mark on the edge toward neighbor. It
 // reports whether the edge exists.
@@ -185,18 +238,35 @@ func (ns *NodeState) MarkedNeighbors() []NodeID {
 func (ns *NodeState) Degree() int { return len(ns.Edges) }
 
 // SessionState returns the automaton state stored under sid, or nil.
-func (ns *NodeState) SessionState(sid SessionID) any { return ns.sessions[sid] }
+func (ns *NodeState) SessionState(sid SessionID) any {
+	for i := range ns.sess {
+		if ns.sess[i].sid == sid {
+			return ns.sess[i].state
+		}
+	}
+	return nil
+}
 
-// SetSessionState stores automaton state under sid; nil deletes it.
+// SetSessionState stores automaton state under sid; nil deletes it. The
+// backing vector's capacity is retained, so the steady state (one
+// broadcast-and-echo or election wave after another) never allocates.
 func (ns *NodeState) SetSessionState(sid SessionID, st any) {
-	if st == nil {
-		delete(ns.sessions, sid)
-		return
+	for i := range ns.sess {
+		if ns.sess[i].sid == sid {
+			if st == nil {
+				last := len(ns.sess) - 1
+				ns.sess[i] = ns.sess[last]
+				ns.sess[last] = sessEntry{}
+				ns.sess = ns.sess[:last]
+				return
+			}
+			ns.sess[i].state = st
+			return
+		}
 	}
-	if ns.sessions == nil {
-		ns.sessions = make(map[SessionID]any)
+	if st != nil {
+		ns.sess = append(ns.sess, sessEntry{sid: sid, state: st})
 	}
-	ns.sessions[sid] = st
 }
 
 // Handler processes one delivered message at the receiving node. It may
@@ -206,10 +276,17 @@ func (ns *NodeState) SetSessionState(sid SessionID, st any) {
 type Handler func(nw *Network, node *NodeState, msg *Message)
 
 // session tracks one protocol execution and the driver (if any) waiting on
-// its completion.
+// its completion. Sessions live by value in the engine's slot table
+// (Network.slots); id == 0 marks a free slot. A slot is recycled as soon
+// as its result has been handed to a driver — at completion when a waiter
+// is already parked, otherwise when a later Await consumes the stored
+// result — so the table stays as small as the peak number of concurrent
+// sessions.
 type session struct {
-	id        SessionID
+	id        SessionID // 0 = free slot; otherwise the full packed ID
 	completed bool
+	unboxed   bool // result is resultU, not result (CompleteSessionU)
+	resultU   uint64
 	result    any
 	err       error
 	waiter    *Proc
@@ -232,10 +309,25 @@ type Network struct {
 	counters ledger
 	handlers []Handler // indexed by KindID; nil = not registered here
 
-	sessions    map[SessionID]*session
-	sessionIDs  []SessionID // insertion-ordered, for deterministic sweeps
-	nextSession SessionID
-	nextSeq     uint64
+	// slots is the flat session table, indexed by SessionID.Slot() and
+	// validated by the full packed ID (the serial is the generation
+	// stamp). freeSlots recycles slot indices; serial counts NewSession
+	// calls, matching the monotonic numbering of the old map keys.
+	slots     []session
+	freeSlots []int32
+	serial    uint64
+	// quiescent lists (in creation order) the sessions created with an
+	// onQuiescence callback and not yet fired. The engine's quiescence
+	// sweep walks only this list instead of every session ever created.
+	quiescent      []SessionID
+	quiescentSpare []SessionID
+	nextSeq        uint64
+
+	// fifoTomb preserves per-directed-link FIFO state (HalfEdge.lastSched)
+	// across a link delete/reinsert, so the fold of the old lastOn map
+	// into half-edge state keeps its exact semantics. Touched only on
+	// topology mutation, never on the send path. Lazily built.
+	fifoTomb map[uint64]int64
 
 	procs  []*Proc
 	runq   []wakeup
@@ -256,8 +348,10 @@ type wakeup struct {
 }
 
 type wake struct {
-	result any
-	err    error
+	result  any
+	u       uint64 // unboxed result lane (CompleteSessionU)
+	unboxed bool
+	err     error
 }
 
 // Option configures a Network.
@@ -304,13 +398,12 @@ func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 		o(&cfg)
 	}
 	nw := &Network{
-		nodes:    make([]*NodeState, g.N+1),
-		states:   make([]NodeState, g.N+1),
-		layout:   g.Layout,
-		maxRaw:   g.MaxRaw,
-		sessions: make(map[SessionID]*session),
-		rng:      rng.New(cfg.seed),
-		budget:   g.Layout.MessageBudget,
+		nodes:  make([]*NodeState, g.N+1),
+		states: make([]NodeState, g.N+1),
+		layout: g.Layout,
+		maxRaw: g.MaxRaw,
+		rng:    rng.New(cfg.seed),
+		budget: g.Layout.MessageBudget,
 	}
 	deg := make([]int, g.N+1)
 	for _, e := range g.Edges() {
@@ -359,22 +452,37 @@ func (nw *Network) appendHalf(at, to NodeID, raw uint64) {
 }
 
 // addHalf inserts a half-edge into the sorted Edges slice in place: one
-// binary search plus one memmove, no index rebuild.
+// binary search plus one memmove, no index rebuild. If the directed link
+// was deleted earlier with FIFO state pending, that state is restored from
+// the tombstone so re-inserted links keep the exact per-link FIFO
+// constraint relative to messages scheduled before the deletion.
 func (nw *Network) addHalf(at, to NodeID, raw uint64) {
 	ns := nw.nodes[at]
 	he := nw.makeHalf(at, to, raw)
+	if last, ok := nw.fifoTomb[linkKey(at, to)]; ok {
+		he.lastSched = last
+		delete(nw.fifoTomb, linkKey(at, to))
+	}
 	pos := sort.Search(len(ns.Edges), func(i int) bool { return ns.Edges[i].Neighbor >= to })
 	ns.Edges = append(ns.Edges, HalfEdge{})
 	copy(ns.Edges[pos+1:], ns.Edges[pos:])
 	ns.Edges[pos] = he
 }
 
-// removeHalf deletes a half-edge in place, preserving sort order.
+// removeHalf deletes a half-edge in place, preserving sort order. Pending
+// FIFO state moves to the tombstone map (cold path) so a later re-insert
+// behaves exactly as the old persistent per-link map did.
 func (nw *Network) removeHalf(at, to NodeID) bool {
 	ns := nw.nodes[at]
 	i := ns.edgePos(to)
 	if i < 0 {
 		return false
+	}
+	if last := ns.Edges[i].lastSched; last != 0 {
+		if nw.fifoTomb == nil {
+			nw.fifoTomb = make(map[uint64]int64)
+		}
+		nw.fifoTomb[linkKey(at, to)] = last
 	}
 	ns.Edges = append(ns.Edges[:i], ns.Edges[i+1:]...)
 	return true
@@ -439,7 +547,19 @@ func (nw *Network) putMessage(m *Message) {
 // the model: the link must exist and the payload must fit the budget.
 // Every send is charged to the counters.
 func (nw *Network) Send(from, to NodeID, kind KindID, sid SessionID, bits int, payload any) {
-	if nw.nodes[from].edgePos(to) < 0 {
+	nw.send(from, to, kind, sid, bits, payload, 0)
+}
+
+// SendU is Send with an unboxed single-word payload: the word travels in
+// Message.U, so protocol words (parities, XORs, counters) never allocate.
+func (nw *Network) SendU(from, to NodeID, kind KindID, sid SessionID, bits int, u uint64) {
+	nw.send(from, to, kind, sid, bits, nil, u)
+}
+
+func (nw *Network) send(from, to NodeID, kind KindID, sid SessionID, bits int, payload any, u uint64) {
+	ns := nw.nodes[from]
+	ei := ns.edgePos(to)
+	if ei < 0 {
 		panic(fmt.Sprintf("congest: %d -> %d: no such link (kind %q)", from, to, kind))
 	}
 	total := bits + FramingBits
@@ -452,17 +572,48 @@ func (nw *Network) Send(from, to NodeID, kind KindID, sid SessionID, bits int, p
 	nw.nextSeq++
 	m := nw.getMessage()
 	m.From, m.To, m.Kind, m.Session = from, to, kind, sid
-	m.Bits, m.Payload, m.seq = bits, payload, nw.nextSeq
+	m.Bits, m.Payload, m.U, m.seq = bits, payload, u, nw.nextSeq
 	nw.counters.charge(kind, total)
-	nw.sched.schedule(m)
+	nw.sched.schedule(m, &ns.Edges[ei].lastSched)
+}
+
+// lookupSession resolves a SessionID against the slot table, or nil for a
+// freed/unknown session. The returned pointer is only valid until the next
+// NewSession call (the table may grow); never retain it.
+func (nw *Network) lookupSession(sid SessionID) *session {
+	slot := sid.Slot()
+	if slot >= len(nw.slots) || nw.slots[slot].id != sid {
+		return nil
+	}
+	return &nw.slots[slot]
+}
+
+// freeSession clears a slot and returns it to the free list.
+func (nw *Network) freeSession(s *session) {
+	slot := s.id.Slot()
+	*s = session{}
+	nw.freeSlots = append(nw.freeSlots, int32(slot))
 }
 
 // NewSession allocates a session. onQuiescence may be nil.
 func (nw *Network) NewSession(onQuiescence func() (any, error)) SessionID {
-	nw.nextSession++
-	sid := nw.nextSession
-	nw.sessions[sid] = &session{id: sid, onQuiescence: onQuiescence}
-	nw.sessionIDs = append(nw.sessionIDs, sid)
+	var slot int
+	if n := len(nw.freeSlots); n > 0 {
+		slot = int(nw.freeSlots[n-1])
+		nw.freeSlots = nw.freeSlots[:n-1]
+	} else {
+		slot = len(nw.slots)
+		if slot > sessSlotMask {
+			panic(fmt.Sprintf("congest: more than %d concurrent sessions", sessSlotMask))
+		}
+		nw.slots = append(nw.slots, session{})
+	}
+	nw.serial++
+	sid := SessionID(nw.serial)<<sessSlotBits | SessionID(slot)
+	nw.slots[slot] = session{id: sid, onQuiescence: onQuiescence}
+	if onQuiescence != nil {
+		nw.quiescent = append(nw.quiescent, sid)
+	}
 	return sid
 }
 
@@ -470,21 +621,35 @@ func (nw *Network) NewSession(onQuiescence func() (any, error)) SessionID {
 // any) becomes runnable. Completing an already-complete session panics —
 // that is always a protocol bug.
 func (nw *Network) CompleteSession(sid SessionID, result any, err error) {
-	s, ok := nw.sessions[sid]
-	if !ok {
+	nw.completeSession(sid, wake{result: result, err: err})
+}
+
+// CompleteSessionU finishes a session with an unboxed single-word result
+// (consumed via Proc.AwaitU) — the completion counterpart of SendU.
+func (nw *Network) CompleteSessionU(sid SessionID, u uint64, err error) {
+	nw.completeSession(sid, wake{u: u, unboxed: true, err: err})
+}
+
+func (nw *Network) completeSession(sid SessionID, w wake) {
+	s := nw.lookupSession(sid)
+	if s == nil {
 		panic(fmt.Sprintf("congest: completing unknown session %d", sid))
 	}
 	if s.completed {
 		panic(fmt.Sprintf("congest: session %d completed twice", sid))
 	}
-	s.completed = true
-	s.result = result
-	s.err = err
-	s.onQuiescence = nil
 	if s.waiter != nil {
-		nw.runq = append(nw.runq, wakeup{p: s.waiter, w: wake{result: result, err: err}})
-		s.waiter = nil
+		// The parked driver receives the result directly through its
+		// wakeup; nothing will look the session up again, so the slot
+		// recycles immediately.
+		nw.runq = append(nw.runq, wakeup{p: s.waiter, w: w})
+		nw.freeSession(s)
+		return
 	}
+	s.completed = true
+	s.result, s.resultU, s.unboxed = w.result, w.u, w.unboxed
+	s.err = w.err
+	s.onQuiescence = nil
 }
 
 // Counters returns a snapshot of the cost counters.

@@ -1,0 +1,38 @@
+package congest
+
+// FanoutScratch recycles the per-phase buffers of a fan-out driver: one
+// outcome slot and one child driver per fragment, reused across phases.
+// At scale the first Borůvka phase spawns one driver per node (100k at
+// 100k nodes), so both the slices and the subtle stale-tail clearing —
+// finished drivers must not stay reachable through the backing array —
+// are worth keeping in one place. R is the per-fragment outcome type.
+type FanoutScratch[R any] struct {
+	outcomes []R
+	procs    []*Proc
+}
+
+// Outcomes returns a zeroed outcome slice of length n, reusing capacity.
+func (s *FanoutScratch[R]) Outcomes(n int) []R {
+	if cap(s.outcomes) < n {
+		s.outcomes = make([]R, n)
+	}
+	s.outcomes = s.outcomes[:n]
+	var zero R
+	for i := range s.outcomes {
+		s.outcomes[i] = zero
+	}
+	return s.outcomes
+}
+
+// Procs returns the reusable driver slice, truncated to length zero.
+func (s *FanoutScratch[R]) Procs() []*Proc { return s.procs[:0] }
+
+// KeepProcs stores the appended driver slice back into the scratch,
+// clearing any stale tail left over from a larger earlier phase so
+// finished drivers are not pinned in memory.
+func (s *FanoutScratch[R]) KeepProcs(procs []*Proc) {
+	for i := len(procs); i < len(s.procs); i++ {
+		s.procs[i] = nil
+	}
+	s.procs = procs
+}

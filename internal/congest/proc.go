@@ -66,23 +66,59 @@ func (p *Proc) Network() *Network { return p.nw }
 
 // Await blocks the driver until the session completes and returns its
 // result. If the session is already complete it returns immediately.
+// Consuming a completed session recycles its slot: a session's result can
+// be awaited once.
 func (p *Proc) Await(sid SessionID) (any, error) {
-	s, ok := p.nw.sessions[sid]
-	if !ok {
-		return nil, fmt.Errorf("congest: await on unknown session %d", sid)
+	w, err := p.await(sid)
+	if err != nil {
+		return nil, err
+	}
+	if w.unboxed {
+		return w.u, w.err
+	}
+	return w.result, w.err
+}
+
+// AwaitU is Await for sessions completed with CompleteSessionU: the
+// single-word result stays unboxed end to end. Awaiting a boxed session
+// whose result is not a uint64 is an error — a silent zero would mask a
+// boxed/unboxed lane mismatch at the call site.
+func (p *Proc) AwaitU(sid SessionID) (uint64, error) {
+	w, err := p.await(sid)
+	if err != nil {
+		return 0, err
+	}
+	if w.unboxed {
+		return w.u, w.err
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	if u, ok := w.result.(uint64); ok {
+		return u, nil
+	}
+	return 0, fmt.Errorf("congest: AwaitU on session %d completed with boxed %T, not uint64", sid, w.result)
+}
+
+func (p *Proc) await(sid SessionID) (wake, error) {
+	s := p.nw.lookupSession(sid)
+	if s == nil {
+		return wake{}, fmt.Errorf("congest: await on unknown session %d", sid)
 	}
 	if s.completed {
-		return s.result, s.err
+		w := wake{result: s.result, u: s.resultU, unboxed: s.unboxed, err: s.err}
+		p.nw.freeSession(s)
+		return w, nil
 	}
 	if s.waiter != nil {
-		return nil, fmt.Errorf("congest: session %d already has a waiter", sid)
+		return wake{}, fmt.Errorf("congest: session %d already has a waiter", sid)
 	}
 	s.waiter = p
 	p.awaiting = sid
 	p.yield <- struct{}{} // hand control back to the engine
 	w := <-p.resume       // engine wakes us with the completion
 	p.awaiting = 0
-	return w.result, w.err
+	return w, nil
 }
 
 // Go spawns a child driver. The child starts at the next scheduling
@@ -130,13 +166,17 @@ func (nw *Network) Run() error {
 
 	var deadlockErr error
 	for {
-		// 1. Run every runnable driver to its next block/finish.
-		for len(nw.runq) > 0 {
-			wu := nw.runq[0]
-			nw.runq = nw.runq[1:]
+		// 1. Run every runnable driver to its next block/finish. Drain by
+		// index — drivers may append new wakeups while running — then
+		// truncate in place, so the queue's backing array recycles instead
+		// of losing capacity off the front.
+		for i := 0; i < len(nw.runq); i++ {
+			wu := nw.runq[i]
+			nw.runq[i] = wakeup{}
 			wu.p.resume <- wu.w
 			<-wu.p.yield
 		}
+		nw.runq = nw.runq[:0]
 		// 2. Deliver the next batch of messages. Batch slices are owned by
 		// the scheduler and recycled; delivered messages go back to the
 		// free list, so steady-state delivery allocates nothing.
@@ -156,17 +196,25 @@ func (nw *Network) Run() error {
 		}
 		// 3. Quiescent: fire any quiescence-completing sessions (in
 		// creation order) — the simulator's notion of "after maxTime".
+		// Only pending-callback sessions are on the list; the buffers
+		// ping-pong so callbacks may create new quiescence sessions
+		// (appended to the fresh list) while the old one is swept.
 		fired := false
-		for _, sid := range nw.sessionIDs {
-			s := nw.sessions[sid]
-			if !s.completed && s.onQuiescence != nil {
-				f := s.onQuiescence
-				s.onQuiescence = nil
-				res, err := f()
-				nw.CompleteSession(sid, res, err)
-				fired = true
+		pending := nw.quiescent
+		nw.quiescent = nw.quiescentSpare[:0]
+		for _, sid := range pending {
+			s := nw.lookupSession(sid)
+			if s == nil || s.completed || s.onQuiescence == nil {
+				continue // completed (and possibly recycled) another way
 			}
+			f := s.onQuiescence
+			s.onQuiescence = nil
+			// f may grow the slot table; use only sid from here on.
+			res, err := f()
+			nw.CompleteSession(sid, res, err)
+			fired = true
 		}
+		nw.quiescentSpare = pending[:0]
 		if fired {
 			continue
 		}

@@ -7,15 +7,17 @@ import (
 )
 
 // scheduler abstracts the two timing models. schedule queues a sent
-// message; nextBatch removes and returns the next messages to deliver
-// (one synchronous round's worth, or a single asynchronous event);
-// empty reports whether anything is still in flight; now is the clock.
+// message, with fifo pointing at the sending half-edge's per-directed-link
+// FIFO cell (HalfEdge.lastSched; the synchronous scheduler ignores it);
+// nextBatch removes and returns the next messages to deliver (one
+// synchronous round's worth, or a single asynchronous event); empty
+// reports whether anything is still in flight; now is the clock.
 //
 // The slice returned by nextBatch is owned by the scheduler and is only
 // valid until the next call — the engine consumes it immediately and nils
 // the entries, so buffers recycle without allocation.
 type scheduler interface {
-	schedule(m *Message)
+	schedule(m *Message, fifo *int64)
 	nextBatch() []*Message
 	empty() bool
 	now() int64
@@ -33,7 +35,7 @@ type syncScheduler struct {
 
 func newSyncScheduler() *syncScheduler { return &syncScheduler{} }
 
-func (s *syncScheduler) schedule(m *Message) {
+func (s *syncScheduler) schedule(m *Message, _ *int64) {
 	m.deliverAt = s.round + 1
 	s.pending = append(s.pending, m)
 }
@@ -55,6 +57,8 @@ func (s *syncScheduler) now() int64  { return s.round }
 // asyncScheduler delivers one message at a time, ordered by a virtual
 // deliver time = send time + uniform delay in [1, maxDelay], with FIFO
 // order preserved per directed link (messages on one link never overtake).
+// The per-link FIFO state lives in the sending half-edge (the fifo cell
+// handed to schedule), not in a map — the send path does no hashing.
 // Ties break by send sequence, so runs are deterministic per seed.
 //
 // The priority queue is a bucketed calendar queue: a ring of width-1 time
@@ -70,7 +74,6 @@ type asyncScheduler struct {
 	clock    int64
 	maxDelay int64
 	r        *rng.RNG
-	lastOn   map[uint64]int64 // directed link key -> last scheduled deliverAt
 
 	ring     []calBucket // len is a power of two
 	mask     int64
@@ -100,7 +103,6 @@ func newAsyncScheduler(r *rng.RNG, maxDelay int64) *asyncScheduler {
 	return &asyncScheduler{
 		maxDelay: maxDelay,
 		r:        r,
-		lastOn:   make(map[uint64]int64),
 		ring:     make([]calBucket, span),
 		mask:     span - 1,
 		span:     span,
@@ -109,7 +111,7 @@ func newAsyncScheduler(r *rng.RNG, maxDelay int64) *asyncScheduler {
 
 func linkKey(from, to NodeID) uint64 { return uint64(from)<<32 | uint64(to) }
 
-func (s *asyncScheduler) schedule(m *Message) {
+func (s *asyncScheduler) schedule(m *Message, fifo *int64) {
 	// Drain first: an overflow event whose time has entered the window
 	// must reach its bucket before any later send that could share it,
 	// or the bucket's append order would no longer be (deliverAt, seq).
@@ -118,11 +120,13 @@ func (s *asyncScheduler) schedule(m *Message) {
 	}
 	delay := 1 + int64(s.r.Uint64n(uint64(s.maxDelay)))
 	at := s.clock + delay
-	key := linkKey(m.From, m.To)
-	if last, ok := s.lastOn[key]; ok && at <= last {
-		at = last + 1 // FIFO per link
+	// FIFO per directed link: never schedule at or before the previous
+	// message on this link. A zero cell (no prior traffic) never triggers,
+	// since at >= clock+1 >= 1.
+	if at <= *fifo {
+		at = *fifo + 1
 	}
-	s.lastOn[key] = at
+	*fifo = at
 	m.deliverAt = at
 	s.push(m)
 }

@@ -159,28 +159,62 @@ func TestAsyncPerLinkFIFO(t *testing.T) {
 // through the calendar queue and a plain reference heap and asserts the
 // pop order agrees — the calendar queue is an optimisation, never a
 // semantic change.
+//
+// The calendar side stores per-link FIFO state the way the Network does —
+// in per-half-edge cells that are dropped to a tombstone on link deletion
+// and restored on re-insert — while the reference keeps the historical
+// persistent lastOn map that never forgets a link. Random delete/reinsert
+// events are interleaved with the traffic, so the test also pins down
+// that the half-edge + tombstone scheme preserves the old map's exact
+// delete/reinsert semantics.
 func TestAsyncCalendarMatchesReferenceHeap(t *testing.T) {
 	mk := func() *asyncScheduler { return newAsyncScheduler(rng.New(5), 6) }
 	cal := mk()
 
+	// Calendar-side FIFO cells, managed like HalfEdge.lastSched: live
+	// cells for existing links, a tombstone map for deleted ones.
+	cells := make(map[uint64]*int64)
+	tombs := make(map[uint64]int64)
+	cell := func(key uint64) *int64 {
+		c, ok := cells[key]
+		if !ok {
+			c = new(int64)
+			if last, found := tombs[key]; found {
+				*c = last
+				delete(tombs, key)
+			}
+			cells[key] = c
+		}
+		return c
+	}
+	dropLink := func(key uint64) { // Network.removeHalf's bookkeeping
+		if c, ok := cells[key]; ok {
+			if *c != 0 {
+				tombs[key] = *c
+			}
+			delete(cells, key)
+		}
+	}
+
 	// Reference: same delay stream, same FIFO bumping, but a flat sorted
-	// pop using the messageHeap ordering.
+	// pop using the messageHeap ordering and a persistent per-link map.
 	type refSched struct {
 		*asyncScheduler
-		q messageHeap
+		lastOn map[uint64]int64
+		q      messageHeap
 	}
-	ref := &refSched{asyncScheduler: mk()}
+	ref := &refSched{asyncScheduler: mk(), lastOn: make(map[uint64]int64)}
 
 	var calOut, refOut []uint64
 	seq := uint64(0)
 	send := func(from, to NodeID) {
 		seq++
-		cal.schedule(&Message{From: from, To: to, seq: seq})
+		key := linkKey(from, to)
+		cal.schedule(&Message{From: from, To: to, seq: seq}, cell(key))
 		// mirror into the reference using the same arrival computation
 		m := &Message{From: from, To: to, seq: seq}
 		delay := 1 + int64(ref.r.Uint64n(uint64(ref.maxDelay)))
 		at := ref.clock + delay
-		key := linkKey(from, to)
 		if last, ok := ref.lastOn[key]; ok && at <= last {
 			at = last + 1
 		}
@@ -206,6 +240,14 @@ func TestAsyncCalendarMatchesReferenceHeap(t *testing.T) {
 	r := rng.New(777)
 	pendingCal, pendingRef := 0, 0
 	for step := 0; step < 5000; step++ {
+		if r.Uint64n(16) == 0 {
+			// Delete a random directed link's FIFO cell; the next send on
+			// it re-creates the cell from the tombstone, exactly like a
+			// link delete followed by a re-insert. The reference map is
+			// untouched — that IS the old semantics.
+			from := NodeID(1 + r.Intn(4))
+			dropLink(linkKey(from, from%4+1))
+		}
 		if pendingCal == 0 || r.Uint64n(3) > 0 {
 			from := NodeID(1 + r.Intn(4))
 			to := from%4 + 1

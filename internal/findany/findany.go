@@ -105,6 +105,7 @@ type Result struct {
 // levelVecDown is the broadcast payload of the level-parity echo.
 type levelVecDown struct {
 	Hash hashing.PairwiseHash
+	L    int
 }
 
 // xorDown asks for the XOR of edge numbers hashing below 2^Min.
@@ -116,6 +117,77 @@ type xorDown struct {
 // countDown asks how many in-tree endpoints carry the candidate edge.
 type countDown struct {
 	EdgeNum uint64
+}
+
+// probes bundles the three reusable broadcast-and-echo specs one FindAny
+// run cycles through. All three echo single words on the unboxed lane;
+// payloads refresh in place per attempt, so the attempt loop allocates
+// nothing.
+type probes struct {
+	levelDown levelVecDown
+	levelSpec tree.Spec
+	xorDown   xorDown
+	xorSpec   tree.Spec
+	countDown countDown
+	countSpec tree.Spec
+}
+
+func newProbes() *probes {
+	pb := &probes{}
+	// echo bit i (0 <= i <= l) is the XOR over incident edges of
+	// [h(edgeNum) < 2^i].
+	pb.levelSpec = tree.Spec{Down: &pb.levelDown, LocalU: levelVecLocal}
+	// echo is the XOR of incident edge numbers with h(e) < 2^min.
+	pb.xorSpec = tree.Spec{Down: &pb.xorDown, UpBits: 64, LocalU: xorLocal}
+	// echo sums, over in-tree nodes, whether the node carries an incident
+	// edge with the candidate number (capped at 3 — only ==1 matters).
+	pb.countSpec = tree.Spec{Down: &pb.countDown, DownBits: 64, UpBits: 2, LocalU: countLocal, CombineU: countFold}
+	return pb
+}
+
+func levelVecLocal(node *congest.NodeState, downAny any) uint64 {
+	d := downAny.(*levelVecDown)
+	var vec uint64
+	for i := range node.Edges {
+		level := d.Hash.PrefixLevel(node.Edges[i].EdgeNum)
+		// edge contributes to every bit at or above its level:
+		// [h(e) < 2^i] holds for all i >= level.
+		vec ^= ^uint64(0) << uint(level)
+	}
+	return vec & (uint64(1)<<uint(d.L+1) - 1)
+}
+
+func xorLocal(node *congest.NodeState, downAny any) uint64 {
+	d := downAny.(*xorDown)
+	bound := uint64(1) << uint(d.Min)
+	var x uint64
+	for i := range node.Edges {
+		if d.Hash.Hash(node.Edges[i].EdgeNum) < bound {
+			x ^= node.Edges[i].EdgeNum
+		}
+	}
+	return x
+}
+
+func countLocal(node *congest.NodeState, downAny any) uint64 {
+	d := downAny.(*countDown)
+	for i := range node.Edges {
+		if node.Edges[i].EdgeNum == d.EdgeNum {
+			return 1
+		}
+	}
+	return 0
+}
+
+// countFold sums child counters with the same saturation the old
+// slice-fold applied after summing: values stay in [0,3], and min(3, .)
+// per fold equals one cap at the end for non-negative addends.
+func countFold(node *congest.NodeState, down any, acc, child uint64) uint64 {
+	sum := acc + child
+	if sum > 3 {
+		sum = 3
+	}
+	return sum
 }
 
 // Run executes FindAny (or FindAny-C) from root over the marked tree
@@ -171,34 +243,39 @@ func Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, r *rng.RNG, cf
 		}
 	}
 
+	pb := newProbes()
 	for res.Stats.Attempts < maxAttempts {
 		res.Stats.Attempts++
 		h := hashing.NewPairwiseHash(r, l)
 		// Step 3b/c: level-parity vector.
-		vecAny, err := pr.BroadcastEcho(p, root, levelVecSpec(h, l))
+		pb.levelDown = levelVecDown{Hash: h, L: l}
+		pb.levelSpec.DownBits = h.Bits()
+		pb.levelSpec.UpBits = l + 1
+		vec, err := pr.BroadcastEchoU(p, root, &pb.levelSpec)
 		if err != nil {
 			return res, err
 		}
-		vec := vecAny.(uint64)
 		if vec == 0 {
 			continue // no level has odd parity; resample
 		}
 		min := bits.TrailingZeros64(vec)
 		// Step 3d: XOR of edge numbers below 2^min.
-		wAny, err := pr.BroadcastEcho(p, root, xorSpec(h, min))
+		pb.xorDown = xorDown{Hash: h, Min: min}
+		pb.xorSpec.DownBits = h.Bits() + 8
+		w, err := pr.BroadcastEchoU(p, root, &pb.xorSpec)
 		if err != nil {
 			return res, err
 		}
-		w := wAny.(uint64)
 		if w == 0 {
 			continue
 		}
 		// Step 4: Test — count in-tree endpoints of the candidate.
-		sumAny, err := pr.BroadcastEcho(p, root, countSpec(w))
+		pb.countDown = countDown{EdgeNum: w}
+		sum, err := pr.BroadcastEchoU(p, root, &pb.countSpec)
 		if err != nil {
 			return res, err
 		}
-		if sumAny.(int) != 1 {
+		if sum != 1 {
 			continue
 		}
 		a, b := nw.Layout().SplitEdgeNum(w)
@@ -209,92 +286,4 @@ func Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, r *rng.RNG, cf
 	}
 	res.Reason = GaveUp
 	return res, nil
-}
-
-// levelVecSpec: echo bit i (0 <= i <= l) is the XOR over incident edges of
-// [h(edgeNum) < 2^i].
-func levelVecSpec(h hashing.PairwiseHash, l int) *tree.Spec {
-	down := levelVecDown{Hash: h}
-	return &tree.Spec{
-		Down:     down,
-		DownBits: h.Bits(),
-		UpBits:   l + 1,
-		Local: func(node *congest.NodeState, downAny any) any {
-			d := downAny.(levelVecDown)
-			var vec uint64
-			for i := range node.Edges {
-				level := d.Hash.PrefixLevel(node.Edges[i].EdgeNum)
-				// edge contributes to every bit at or above its level:
-				// [h(e) < 2^i] holds for all i >= level.
-				vec ^= ^uint64(0) << uint(level)
-			}
-			return vec & (uint64(1)<<uint(l+1) - 1)
-		},
-		Combine: func(node *congest.NodeState, down, local any, children []tree.ChildEcho) any {
-			vec := local.(uint64)
-			for _, c := range children {
-				vec ^= c.Value.(uint64)
-			}
-			return vec
-		},
-	}
-}
-
-// xorSpec: echo is the XOR of incident edge numbers with h(e) < 2^min.
-func xorSpec(h hashing.PairwiseHash, min int) *tree.Spec {
-	down := xorDown{Hash: h, Min: min}
-	return &tree.Spec{
-		Down:     down,
-		DownBits: h.Bits() + 8,
-		UpBits:   64,
-		Local: func(node *congest.NodeState, downAny any) any {
-			d := downAny.(xorDown)
-			bound := uint64(1) << uint(d.Min)
-			var x uint64
-			for i := range node.Edges {
-				if d.Hash.Hash(node.Edges[i].EdgeNum) < bound {
-					x ^= node.Edges[i].EdgeNum
-				}
-			}
-			return x
-		},
-		Combine: func(node *congest.NodeState, down, local any, children []tree.ChildEcho) any {
-			x := local.(uint64)
-			for _, c := range children {
-				x ^= c.Value.(uint64)
-			}
-			return x
-		},
-	}
-}
-
-// countSpec: echo sums, over in-tree nodes, whether the node carries an
-// incident edge with the candidate number (capped at 3 — only ==1
-// matters).
-func countSpec(edgeNum uint64) *tree.Spec {
-	down := countDown{EdgeNum: edgeNum}
-	return &tree.Spec{
-		Down:     down,
-		DownBits: 64,
-		UpBits:   2,
-		Local: func(node *congest.NodeState, downAny any) any {
-			d := downAny.(countDown)
-			for i := range node.Edges {
-				if node.Edges[i].EdgeNum == d.EdgeNum {
-					return 1
-				}
-			}
-			return 0
-		},
-		Combine: func(node *congest.NodeState, down, local any, children []tree.ChildEcho) any {
-			sum := local.(int)
-			for _, c := range children {
-				sum += c.Value.(int)
-			}
-			if sum > 3 {
-				sum = 3
-			}
-			return sum
-		},
-	}
 }

@@ -148,9 +148,16 @@ func Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, r *rng.RNG, cf
 	eps := math.Pow(n, -float64(cfg.C+1))
 	reps := sketch.NumReps(eps, sv.DegreeSum)
 
+	// Reusable probe runners: the narrowing loop performs dozens of
+	// broadcast-and-echoes per call, all through these two specs refreshed
+	// in place — no per-iteration spec or payload allocation.
+	testOut := sketch.NewTestOutRunner()
+	hpRun := sketch.NewHPRunner()
+	var alphaBuf [sketch.MaxReps]uint64
 	hp := func(iv sketch.Interval) (bool, error) {
 		res.Stats.HPTests++
-		return sketch.HPTestOut(p, pr, root, sketch.DrawAlphas(r, reps), iv)
+		sketch.DrawAlphasInto(r, alphaBuf[:reps])
+		return hpRun.Run(p, pr, root, alphaBuf[:reps], iv)
 	}
 
 	// Step 3: the search range covers every candidate composite weight.
@@ -162,11 +169,10 @@ func Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, r *rng.RNG, cf
 		// Steps 4-5: one broadcast carries a fresh odd hash; the echo
 		// carries one TestOut bit per lane.
 		h := hashing.NewOddHash(r)
-		word, err := sketch.TestOutLanes(p, pr, root, h, rangeIv, cfg.Lanes)
+		word, err := testOut.Lanes(p, pr, root, h, rangeIv, cfg.Lanes)
 		if err != nil {
 			return res, err
 		}
-		lanes := rangeIv.Split(cfg.Lanes)
 		if word == 0 {
 			// No lane fired: either the cut (within range) is empty or
 			// TestOut failed everywhere. Distinguish w.h.p.
@@ -180,12 +186,12 @@ func Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, r *rng.RNG, cf
 			}
 			continue
 		}
-		// Step 6: smallest fired lane.
+		// Step 6: smallest fired lane, by stride arithmetic over the range.
 		minIdx := bits.TrailingZeros64(word)
-		if minIdx >= len(lanes) {
-			return res, fmt.Errorf("findmin: fired lane %d beyond %d lanes", minIdx, len(lanes))
+		if numLanes := rangeIv.NumLanes(cfg.Lanes); minIdx >= numLanes {
+			return res, fmt.Errorf("findmin: fired lane %d beyond %d lanes", minIdx, numLanes)
 		}
-		lane := lanes[minIdx]
+		lane := rangeIv.Lane(cfg.Lanes, minIdx)
 		if cfg.VerifyNarrowing {
 			// Step 6: TestLow — is there a lighter cut edge below the
 			// fired lane that TestOut missed?

@@ -39,23 +39,36 @@ type candidate struct {
 }
 
 // nodeState is one node's GHS automaton state. rejected persists across
-// phases (the non-impromptu cache); the rest is per-phase.
+// phases (the non-impromptu cache); the rest is per-phase. probes and
+// probeComps are parallel reusable buffers (candidate neighbour, its
+// composite weight) sorted together, so re-entering a phase allocates
+// nothing once warm.
 type nodeState struct {
 	rejected map[congest.NodeID]bool
 
-	phase     int
-	fragID    congest.NodeID
-	parent    congest.NodeID
-	expected  int       // children reports still missing
-	ownBest   candidate // the node's own accepted candidate
-	childBest candidate // minimum over children's reports
-	ownDone   bool      // this node's probing finished
-	probeIdx  int       // position in the sorted candidate list
-	probing   bool      // a test is in flight
-	reported  bool      // report went up (or completed, at the root)
-	probes    []congest.NodeID
-	deferred  []deferredTest    // tests from the next phase, answered on entry
-	session   congest.SessionID // root only: fragment session to complete
+	phase      int
+	fragID     congest.NodeID
+	parent     congest.NodeID
+	expected   int       // children reports still missing
+	ownBest    candidate // the node's own accepted candidate
+	childBest  candidate // minimum over children's reports
+	ownDone    bool      // this node's probing finished
+	probeIdx   int       // position in the sorted candidate list
+	probing    bool      // a test is in flight
+	reported   bool      // report went up (or completed, at the root)
+	probes     []congest.NodeID
+	probeComps []uint64
+	deferred   []deferredTest    // tests from the next phase, answered on entry
+	session    congest.SessionID // root only: fragment session to complete
+}
+
+// sort.Interface over the parallel probe buffers, cheapest first; *nodeState
+// implements it directly so sort.Sort gets a pointer and allocates nothing.
+func (st *nodeState) Len() int           { return len(st.probes) }
+func (st *nodeState) Less(i, j int) bool { return st.probeComps[i] < st.probeComps[j] }
+func (st *nodeState) Swap(i, j int) {
+	st.probes[i], st.probes[j] = st.probes[j], st.probes[i]
+	st.probeComps[i], st.probeComps[j] = st.probeComps[j], st.probeComps[i]
 }
 
 // Protocol is the per-network GHS instance.
@@ -172,29 +185,26 @@ func (g *Protocol) enterPhase(node *congest.NodeState, st *nodeState, phase int,
 	st.probing = false
 	st.reported = false
 	st.expected = 0
-	for _, nb := range node.MarkedNeighbors() {
-		if nb != parent {
+	for i := range node.Edges {
+		he := &node.Edges[i]
+		if he.Marked && he.Neighbor != parent {
 			st.expected++
-			g.nw.Send(node.ID, nb, KindFrag, 0, 64, fragMsg{Phase: phase, FragID: fragID})
+			g.nw.SendU(node.ID, he.Neighbor, KindFrag, 0, 64, packPhaseFrag(phase, fragID))
 		}
 	}
-	// candidate edges: unmarked, not rejected, cheapest first.
+	// candidate edges: unmarked, not rejected, cheapest first (composites
+	// are unique, so the order is deterministic). The parallel buffers
+	// recycle across phases.
 	st.probes = st.probes[:0]
-	type cand struct {
-		nb   congest.NodeID
-		comp uint64
-	}
-	var cands []cand
+	st.probeComps = st.probeComps[:0]
 	for i := range node.Edges {
 		he := &node.Edges[i]
 		if !he.Marked && !st.rejected[he.Neighbor] {
-			cands = append(cands, cand{nb: he.Neighbor, comp: he.Composite})
+			st.probes = append(st.probes, he.Neighbor)
+			st.probeComps = append(st.probeComps, he.Composite)
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].comp < cands[j].comp })
-	for _, c := range cands {
-		st.probes = append(st.probes, c.nb)
-	}
+	sort.Sort(st)
 	// answer probes that arrived before we entered the phase.
 	deferred := st.deferred
 	st.deferred = nil
@@ -212,14 +222,20 @@ type deferredTest struct {
 	tm   testMsg
 }
 
-type fragMsg struct {
+type testMsg struct {
 	Phase  int
 	FragID congest.NodeID
 }
 
-type testMsg struct {
-	Phase  int
-	FragID congest.NodeID
+// Frag and test messages carry (phase, fragment ID) — two small fields
+// packed into the unboxed message word so the per-phase tree broadcast and
+// the edge probes never box a payload.
+func packPhaseFrag(phase int, fragID congest.NodeID) uint64 {
+	return uint64(phase)<<32 | uint64(fragID)
+}
+
+func unpackPhaseFrag(u uint64) (phase int, fragID congest.NodeID) {
+	return int(u >> 32), congest.NodeID(u & 0xffffffff)
 }
 
 // advanceProbe sends the next test, or finishes the node's local part.
@@ -237,7 +253,7 @@ func (g *Protocol) advanceProbe(node *congest.NodeState, st *nodeState) {
 			continue
 		}
 		st.probing = true
-		g.nw.Send(node.ID, nb, KindTest, 0, 64, testMsg{Phase: st.phase, FragID: st.fragID})
+		g.nw.SendU(node.ID, nb, KindTest, 0, 64, packPhaseFrag(st.phase, st.fragID))
 		return
 	}
 	st.ownDone = true
@@ -263,12 +279,13 @@ func (g *Protocol) maybeReport(node *congest.NodeState, st *nodeState) {
 }
 
 func (g *Protocol) onFrag(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
-	fm := msg.Payload.(fragMsg)
-	g.enterPhase(node, g.state[node.ID], fm.Phase, fm.FragID, msg.From)
+	phase, fragID := unpackPhaseFrag(msg.U)
+	g.enterPhase(node, g.state[node.ID], phase, fragID, msg.From)
 }
 
 func (g *Protocol) onTest(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
-	g.answerTest(nw, node, msg.From, msg.Payload.(testMsg))
+	phase, fragID := unpackPhaseFrag(msg.U)
+	g.answerTest(nw, node, msg.From, testMsg{Phase: phase, FragID: fragID})
 }
 
 func (g *Protocol) answerTest(nw *congest.Network, node *congest.NodeState, from congest.NodeID, tm testMsg) {
@@ -282,13 +299,17 @@ func (g *Protocol) answerTest(nw *congest.Network, node *congest.NodeState, from
 		// internal forever: cache the rejection on this side too.
 		st.rejected[from] = true
 	}
-	nw.Send(node.ID, from, KindStatus, 0, 8, accept)
+	var word uint64
+	if accept {
+		word = 1
+	}
+	nw.SendU(node.ID, from, KindStatus, 0, 8, word)
 }
 
 func (g *Protocol) onStatus(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
 	st := g.state[node.ID]
 	st.probing = false
-	if msg.Payload.(bool) {
+	if msg.U != 0 {
 		// probing in increasing weight order: the first accept is the
 		// node's minimum outgoing edge.
 		he := node.EdgeTo(msg.From)

@@ -99,14 +99,30 @@ func Builtin() *Registry {
 
 	// --- Production-scale stress scenarios ---
 	// These prove the zero-alloc core at scale: the whole point of the
-	// interned-kind dispatch, pooled messages and calendar queue is that
-	// 100k-node runs are bounded by protocol work, not simulator overhead.
+	// interned-kind dispatch, pooled messages, calendar queue, and the
+	// allocation-free protocol layer (pooled session state, unboxed
+	// echoes) is that 100k-node runs are bounded by protocol work, not
+	// simulator overhead.
 	reg.MustRegister(Spec{
 		Name:        "flood/gnm-100k/sync",
 		Description: "Theta(m) flood across 100k nodes / 300k edges: raw dispatch throughput",
 		Family:      FamilyGNM, N: 100_000,
 		Sched: SchedSync,
 		Algo:  AlgoFlood,
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-build/gnm-100k/sync",
+		Description: "Build MST (adaptive) on connected G(n,3n) at 100k nodes: the full FindMin-C protocol stack at scale",
+		Family:      FamilyGNM, N: 100_000,
+		Sched: SchedSync,
+		Algo:  AlgoMSTBuildAdaptive,
+	})
+	reg.MustRegister(Spec{
+		Name:        "st-build/gnm-100k/sync",
+		Description: "Build ST via FindAny-C on connected G(n,3n) at 100k nodes",
+		Family:      FamilyGNM, N: 100_000,
+		Sched: SchedSync,
+		Algo:  AlgoSTBuild,
 	})
 	reg.MustRegister(Spec{
 		Name:        "ghs/expander-50k/sync",

@@ -117,8 +117,9 @@ func Build(nw *congest.Network, pr *tree.Protocol, cfg BuildConfig) (BuildResult
 	var result BuildResult
 	maxPhases := MaxPhases(nw.N(), cfg.C)
 	nw.Spawn("boruvka", func(p *congest.Proc) error {
+		var scratch congest.FanoutScratch[findmin.Reason]
 		for phase := 1; phase <= maxPhases; phase++ {
-			stat, err := runPhase(p, nw, pr, cfg, phase)
+			stat, err := runPhase(p, nw, pr, cfg, phase, &scratch)
 			if err != nil {
 				return err
 			}
@@ -146,7 +147,7 @@ func Build(nw *congest.Network, pr *tree.Protocol, cfg BuildConfig) (BuildResult
 // runPhase executes one Borůvka phase: elect leaders, run FindMin-C per
 // fragment concurrently, broadcast Add-Edge for the found edges, then
 // synchronise and apply the staged marks.
-func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg BuildConfig, phase int) (PhaseStat, error) {
+func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg BuildConfig, phase int, scratch *congest.FanoutScratch[findmin.Reason]) (PhaseStat, error) {
 	startMsgs := nw.Counters().Messages
 	startRounds := nw.Now()
 
@@ -159,8 +160,8 @@ func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg Build
 	}
 	stat := PhaseStat{Fragments: len(elect.Leaders)}
 
-	outcomes := make([]findmin.Reason, len(elect.Leaders))
-	procs := make([]*congest.Proc, 0, len(elect.Leaders))
+	outcomes := scratch.Outcomes(len(elect.Leaders))
+	procs := scratch.Procs()
 	for i, leader := range elect.Leaders {
 		i, leader := i, leader
 		procs = append(procs, p.Go(fmt.Sprintf("findmin-p%d-f%d", phase, leader), func(fp *congest.Proc) error {
@@ -180,6 +181,7 @@ func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg Build
 			return nil
 		}))
 	}
+	scratch.KeepProcs(procs)
 	if err := p.WaitAll(procs...); err != nil {
 		return stat, err
 	}

@@ -1,0 +1,113 @@
+package sketch
+
+import (
+	"testing"
+
+	"kkt/internal/race"
+
+	"kkt/internal/congest"
+	"kkt/internal/graph"
+	"kkt/internal/hashing"
+	"kkt/internal/rng"
+	"kkt/internal/tree"
+)
+
+// markedPath builds a 256-node path network with every edge marked: one
+// long tree, so any per-node churn in a broadcast-and-echo multiplies by
+// 256 and trips the constant budgets below.
+func markedPath(t *testing.T, n int) (*congest.Network, *tree.Protocol) {
+	t.Helper()
+	g := graph.Path(n, 1<<20, func(k int) uint64 { return uint64(k + 1) })
+	nw := congest.NewNetwork(g)
+	forest := make([][2]congest.NodeID, 0, n-1)
+	for i := 1; i < n; i++ {
+		forest = append(forest, [2]congest.NodeID{congest.NodeID(i), congest.NodeID(i + 1)})
+	}
+	nw.SetForest(forest)
+	return nw, tree.Attach(nw)
+}
+
+// TestTestOutBroadcastAllocs pins one full TestOut broadcast-and-echo —
+// 64 lanes, stride lane lookup, unboxed parity-word echoes — at constant
+// allocations over a 256-node tree.
+func TestTestOutBroadcastAllocs(t *testing.T) {
+	race.SkipAllocTest(t)
+	const n = 256
+	nw, pr := markedPath(t, n)
+	runner := NewTestOutRunner()
+	h := hashing.NewOddHash(rng.New(11))
+	iv := Interval{Lo: 1, Hi: 1 << 40}
+	wave := func() {
+		nw.Spawn("testout", func(p *congest.Proc) error {
+			_, err := runner.Lanes(p, pr, 1, h, iv, Lanes)
+			return err
+		})
+		if err := nw.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wave() // warm pools
+	avg := testing.AllocsPerRun(5, wave)
+	if avg > 32 {
+		t.Errorf("TestOut B&E on %d nodes: %.1f allocs, budget 32 — per-node churn reintroduced?", n, avg)
+	}
+}
+
+// TestHPTestOutBroadcastAllocs pins one HP-TestOut broadcast-and-echo at
+// constant allocations: pooled hpEval echoes circulate through the tree
+// instead of one pair-slice allocation per node.
+func TestHPTestOutBroadcastAllocs(t *testing.T) {
+	race.SkipAllocTest(t)
+	const n = 256
+	nw, pr := markedPath(t, n)
+	runner := NewHPRunner()
+	alphas := DrawAlphas(rng.New(13), MaxReps)
+	iv := Interval{Lo: 1, Hi: 1 << 40}
+	wave := func() {
+		nw.Spawn("hp", func(p *congest.Proc) error {
+			_, err := runner.Run(p, pr, 1, alphas, iv)
+			return err
+		})
+		if err := nw.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wave()
+	avg := testing.AllocsPerRun(5, wave)
+	if avg > 48 {
+		t.Errorf("HP-TestOut B&E on %d nodes: %.1f allocs, budget 48 — per-node churn reintroduced?", n, avg)
+	}
+}
+
+// TestStrideLaneMatchesSplit cross-checks the O(1) stride lane lookup
+// against the materialised Split intervals: every value in the range maps
+// to the unique lane that contains it, for adversarial range/lane shapes.
+func TestStrideLaneMatchesSplit(t *testing.T) {
+	ivs := []Interval{
+		{Lo: 1, Hi: 1},
+		{Lo: 1, Hi: 63},
+		{Lo: 1, Hi: 64},
+		{Lo: 1, Hi: 65},
+		{Lo: 5, Hi: 4096},
+		{Lo: 100, Hi: 101},
+		{Lo: 7, Hi: 7 + 630},
+	}
+	for _, iv := range ivs {
+		for _, n := range []int{1, 2, 63, 64} {
+			lanes := iv.Split(n)
+			if got := iv.NumLanes(n); got != len(lanes) {
+				t.Fatalf("%+v n=%d: NumLanes=%d, Split produced %d", iv, n, got, len(lanes))
+			}
+			stride := iv.Stride(n)
+			for v := iv.Lo; v <= iv.Hi; v++ {
+				li := int((v - iv.Lo) / stride)
+				if li >= len(lanes) || v < lanes[li].Lo || v > lanes[li].Hi {
+					t.Fatalf("%+v n=%d: value %d -> lane %d, not contained (lanes %v)", iv, n, v, li, lanes)
+				}
+				if got := iv.Lane(n, li); got != lanes[li] {
+					t.Fatalf("%+v n=%d: Lane(%d)=%+v, Split[%d]=%+v", iv, n, li, got, li, lanes[li])
+				}
+			}
+		}
+	}
+}

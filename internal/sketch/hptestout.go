@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"math"
+	"sync"
 
 	"kkt/internal/congest"
 	"kkt/internal/modring"
@@ -16,9 +17,11 @@ import (
 const MaxReps = 3
 
 // hpDown is the broadcast payload: the evaluation points and the weight
-// interval under test.
+// interval under test. The alphas live inline (reps <= MaxReps), so the
+// payload is a single pointer with no per-call slice.
 type hpDown struct {
-	Alphas []uint64
+	Alphas [MaxReps]uint64
+	Reps   int
 	Range  Interval
 }
 
@@ -26,6 +29,17 @@ type hpDown struct {
 type hpPair struct {
 	Up, Down uint64
 }
+
+// hpEval is one node's echo value: the per-repetition evaluation pairs,
+// inline. Evals are recycled through a pool — parents return their
+// children's evals as they fold them — so a broadcast-and-echo reuses a
+// handful of evals instead of allocating one per node.
+type hpEval struct {
+	pairs [MaxReps]hpPair
+	reps  int
+}
+
+var hpEvalPool = sync.Pool{New: func() any { return new(hpEval) }}
 
 // NumReps returns how many parallel repetitions are needed to push the
 // one-sided error below eps given that at most degreeBound edge endpoints
@@ -49,87 +63,122 @@ func NumReps(eps float64, degreeBound int) int {
 	return r
 }
 
+// DrawAlphasInto fills dst with evaluation points from Z_p.
+func DrawAlphasInto(r *rng.RNG, dst []uint64) {
+	ring := modring.Default()
+	for i := range dst {
+		dst[i] = r.Uint64n(ring.P())
+	}
+}
+
 // DrawAlphas draws reps evaluation points from Z_p.
 func DrawAlphas(r *rng.RNG, reps int) []uint64 {
-	ring := modring.Default()
 	out := make([]uint64, reps)
-	for i := range out {
-		out[i] = r.Uint64n(ring.P())
-	}
+	DrawAlphasInto(r, out)
 	return out
 }
 
-// HPTestOutSpec builds the broadcast-and-echo of HP-TestOut(x, j, k): each
-// node evaluates P(E-up(y))(alpha) and P(E-down(y))(alpha) over its
-// incident edges with composite weight in rng, where E-up(y) holds the
-// edges on which y is the smaller endpoint and E-down(y) those on which it
-// is the larger. Products are multiplied up the tree; at the root the two
-// multiset fingerprints agree for every alpha iff (w.h.p.) no edge leaves
-// the tree: every tree-internal edge contributes the same factor to both
+// hpLocal evaluates P(E-up(y))(alpha) and P(E-down(y))(alpha) over the
+// node's incident edges with composite weight in range, where E-up(y)
+// holds the edges on which y is the smaller endpoint and E-down(y) those
+// on which it is the larger.
+func hpLocal(node *congest.NodeState, downAny any) any {
+	d := downAny.(*hpDown)
+	ring := modring.Default()
+	ev := hpEvalPool.Get().(*hpEval)
+	ev.reps = d.Reps
+	for i := 0; i < d.Reps; i++ {
+		ev.pairs[i] = hpPair{Up: 1, Down: 1}
+	}
+	for ei := range node.Edges {
+		he := &node.Edges[ei]
+		if he.Composite < d.Range.Lo || he.Composite > d.Range.Hi {
+			continue
+		}
+		root := ring.Reduce(he.EdgeNum)
+		isUp := node.ID < he.Neighbor
+		for i := 0; i < d.Reps; i++ {
+			factor := ring.Sub(ring.Reduce(d.Alphas[i]), root)
+			if isUp {
+				ev.pairs[i].Up = ring.Mul(ev.pairs[i].Up, factor)
+			} else {
+				ev.pairs[i].Down = ring.Mul(ev.pairs[i].Down, factor)
+			}
+		}
+	}
+	return ev
+}
+
+// hpCombine multiplies children's products into the node's own and
+// recycles the children's evals.
+func hpCombine(node *congest.NodeState, downAny, local any, children []tree.ChildEcho) any {
+	ev := local.(*hpEval)
+	ring := modring.Default()
+	for _, c := range children {
+		cev := c.Value.(*hpEval)
+		for i := 0; i < ev.reps; i++ {
+			ev.pairs[i].Up = ring.Mul(ev.pairs[i].Up, cev.pairs[i].Up)
+			ev.pairs[i].Down = ring.Mul(ev.pairs[i].Down, cev.pairs[i].Down)
+		}
+		hpEvalPool.Put(cev)
+	}
+	return ev
+}
+
+// HPRunner is a reusable HP-TestOut broadcast-and-echo (§2.2): multiset
+// equality of the up-edge and down-edge sets over Z_p via Schwartz-Zippel.
+// Products are multiplied up the tree; at the root the two multiset
+// fingerprints agree for every alpha iff (w.h.p.) no edge leaves the
+// tree: every tree-internal edge contributes the same factor to both
 // sides (once from each endpoint), while a cut edge contributes to exactly
-// one side.
-func HPTestOutSpec(alphas []uint64, rng Interval) *tree.Spec {
+// one side. The spec and payload refresh in place per call.
+type HPRunner struct {
+	down hpDown
+	spec tree.Spec
+}
+
+// NewHPRunner returns a runner ready for repeated HP tests.
+func NewHPRunner() *HPRunner {
+	h := &HPRunner{}
+	h.spec = tree.Spec{
+		Down:    &h.down,
+		Local:   hpLocal,
+		Combine: hpCombine,
+	}
+	return h
+}
+
+// Run performs HP-TestOut(root, rng) with the given evaluation points and
+// reports whether an edge with composite weight in rng leaves the tree
+// containing root. A false answer is wrong with probability at most
+// (B/p)^len(alphas); a true answer is always correct.
+func (h *HPRunner) Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, alphas []uint64, rng Interval) (bool, error) {
 	if len(alphas) == 0 || len(alphas) > MaxReps {
 		panic("sketch: HPTestOut needs 1..MaxReps alphas")
 	}
 	ring := modring.Default()
-	down := hpDown{Alphas: alphas, Range: rng}
-	reps := len(alphas)
-	return &tree.Spec{
-		Down:     down,
-		DownBits: reps*ring.Bits() + 2*64 + 8,
-		UpBits:   reps * 2 * ring.Bits(),
-		Local: func(node *congest.NodeState, downAny any) any {
-			d := downAny.(hpDown)
-			pairs := make([]hpPair, len(d.Alphas))
-			for i := range pairs {
-				pairs[i] = hpPair{Up: 1, Down: 1}
-			}
-			for ei := range node.Edges {
-				he := &node.Edges[ei]
-				if he.Composite < d.Range.Lo || he.Composite > d.Range.Hi {
-					continue
-				}
-				root := ring.Reduce(he.EdgeNum)
-				isUp := node.ID < he.Neighbor
-				for i, alpha := range d.Alphas {
-					factor := ring.Sub(ring.Reduce(alpha), root)
-					if isUp {
-						pairs[i].Up = ring.Mul(pairs[i].Up, factor)
-					} else {
-						pairs[i].Down = ring.Mul(pairs[i].Down, factor)
-					}
-				}
-			}
-			return pairs
-		},
-		Combine: func(node *congest.NodeState, downAny, local any, children []tree.ChildEcho) any {
-			pairs := local.([]hpPair)
-			for _, c := range children {
-				cp := c.Value.([]hpPair)
-				for i := range pairs {
-					pairs[i].Up = ring.Mul(pairs[i].Up, cp[i].Up)
-					pairs[i].Down = ring.Mul(pairs[i].Down, cp[i].Down)
-				}
-			}
-			return pairs
-		},
-	}
-}
-
-// HPTestOut runs HP-TestOut(root, rng) with the given evaluation points
-// and reports whether an edge with composite weight in rng leaves the tree
-// containing root. A false answer is wrong with probability at most
-// (B/p)^len(alphas); a true answer is always correct.
-func HPTestOut(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, alphas []uint64, rng Interval) (bool, error) {
-	v, err := pr.BroadcastEcho(p, root, HPTestOutSpec(alphas, rng))
+	reps := copy(h.down.Alphas[:], alphas)
+	h.down.Reps = reps
+	h.down.Range = rng
+	h.spec.DownBits = reps*ring.Bits() + 2*64 + 8
+	h.spec.UpBits = reps * 2 * ring.Bits()
+	v, err := pr.BroadcastEcho(p, root, &h.spec)
 	if err != nil {
 		return false, err
 	}
-	for _, pair := range v.([]hpPair) {
-		if pair.Up != pair.Down {
-			return true, nil
+	ev := v.(*hpEval)
+	leaving := false
+	for i := 0; i < ev.reps; i++ {
+		if ev.pairs[i].Up != ev.pairs[i].Down {
+			leaving = true
+			break
 		}
 	}
-	return false, nil
+	hpEvalPool.Put(ev)
+	return leaving, nil
+}
+
+// HPTestOut is the one-shot form of HPRunner.Run.
+func HPTestOut(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, alphas []uint64, rng Interval) (bool, error) {
+	return NewHPRunner().Run(p, pr, root, alphas, rng)
 }

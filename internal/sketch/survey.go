@@ -18,6 +18,8 @@
 package sketch
 
 import (
+	"sync"
+
 	"kkt/internal/congest"
 	"kkt/internal/tree"
 )
@@ -46,51 +48,69 @@ type Survey struct {
 // surveyBits: echo carries five words.
 const surveyBits = 5 * 64
 
-// SurveySpec returns the broadcast-and-echo spec computing Survey.
-func SurveySpec() *tree.Spec {
-	return &tree.Spec{
-		DownBits: 8,
-		UpBits:   surveyBits,
-		Local: func(node *congest.NodeState, down any) any {
-			s := Survey{Size: 1, DegreeSum: node.Degree()}
-			for i := range node.Edges {
-				he := &node.Edges[i]
-				if he.EdgeNum > s.MaxEdgeNum {
-					s.MaxEdgeNum = he.EdgeNum
-				}
-				if !he.Marked {
-					s.UnmarkedDegreeSum++
-					if he.Composite > s.MaxComposite {
-						s.MaxComposite = he.Composite
-					}
-				}
+// surveyPool recycles echo values: parents return their children's
+// surveys as they fold them, so one broadcast-and-echo circulates a
+// handful of *Survey instead of boxing one per node.
+var surveyPool = sync.Pool{New: func() any { return new(Survey) }}
+
+func surveyLocal(node *congest.NodeState, down any) any {
+	s := surveyPool.Get().(*Survey)
+	*s = Survey{Size: 1, DegreeSum: node.Degree()}
+	for i := range node.Edges {
+		he := &node.Edges[i]
+		if he.EdgeNum > s.MaxEdgeNum {
+			s.MaxEdgeNum = he.EdgeNum
+		}
+		if !he.Marked {
+			s.UnmarkedDegreeSum++
+			if he.Composite > s.MaxComposite {
+				s.MaxComposite = he.Composite
 			}
-			return s
-		},
-		Combine: func(node *congest.NodeState, down, local any, children []tree.ChildEcho) any {
-			s := local.(Survey)
-			for _, c := range children {
-				cs := c.Value.(Survey)
-				s.Size += cs.Size
-				s.DegreeSum += cs.DegreeSum
-				s.UnmarkedDegreeSum += cs.UnmarkedDegreeSum
-				if cs.MaxComposite > s.MaxComposite {
-					s.MaxComposite = cs.MaxComposite
-				}
-				if cs.MaxEdgeNum > s.MaxEdgeNum {
-					s.MaxEdgeNum = cs.MaxEdgeNum
-				}
-			}
-			return s
-		},
+		}
 	}
+	return s
 }
+
+func surveyCombine(node *congest.NodeState, down, local any, children []tree.ChildEcho) any {
+	s := local.(*Survey)
+	for _, c := range children {
+		cs := c.Value.(*Survey)
+		s.Size += cs.Size
+		s.DegreeSum += cs.DegreeSum
+		s.UnmarkedDegreeSum += cs.UnmarkedDegreeSum
+		if cs.MaxComposite > s.MaxComposite {
+			s.MaxComposite = cs.MaxComposite
+		}
+		if cs.MaxEdgeNum > s.MaxEdgeNum {
+			s.MaxEdgeNum = cs.MaxEdgeNum
+		}
+		surveyPool.Put(cs)
+	}
+	return s
+}
+
+// surveySpec is the shared, stateless broadcast-and-echo spec computing
+// Survey; echo values are pooled *Survey.
+var surveySpec = tree.Spec{
+	DownBits: 8,
+	UpBits:   surveyBits,
+	Local:    surveyLocal,
+	Combine:  surveyCombine,
+}
+
+// SurveySpec returns the broadcast-and-echo spec computing Survey. The
+// spec is shared and must not be mutated; echo values are pooled *Survey
+// (RunSurvey copies the aggregate out).
+func SurveySpec() *tree.Spec { return &surveySpec }
 
 // RunSurvey performs the survey broadcast-and-echo from root.
 func RunSurvey(p *congest.Proc, pr *tree.Protocol, root congest.NodeID) (Survey, error) {
-	v, err := pr.BroadcastEcho(p, root, SurveySpec())
+	v, err := pr.BroadcastEcho(p, root, &surveySpec)
 	if err != nil {
 		return Survey{}, err
 	}
-	return v.(Survey), nil
+	sp := v.(*Survey)
+	s := *sp
+	surveyPool.Put(sp)
+	return s, nil
 }

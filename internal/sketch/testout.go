@@ -19,97 +19,133 @@ type Interval struct {
 // Empty reports whether the interval contains nothing (Lo > Hi).
 func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
 
-// Split partitions [iv.Lo, iv.Hi] into at most n equal-stride
-// sub-intervals (paper step 5: j_i = j + i*ceil((k-j)/w)). The last
-// sub-interval is clipped to Hi; trailing empty lanes are dropped.
-func (iv Interval) Split(n int) []Interval {
-	if iv.Empty() || n < 1 {
-		return nil
+// Stride returns the width of each of the at-most-n equal sub-intervals
+// of [iv.Lo, iv.Hi] (paper step 5: j_i = j + i*ceil((k-j)/w)). A value v
+// in the interval lies in lane (v - iv.Lo) / stride — the O(1) lane
+// lookup every TestOut local computation uses instead of scanning lanes.
+func (iv Interval) Stride(n int) uint64 {
+	if n < 1 {
+		n = 1 // a degenerate lane count behaves like a single lane
 	}
 	span := iv.Hi - iv.Lo + 1
 	stride := span / uint64(n)
 	if span%uint64(n) != 0 {
 		stride++
 	}
-	var out []Interval
-	for lo := iv.Lo; lo <= iv.Hi; lo += stride {
-		hi := lo + stride - 1
-		if hi > iv.Hi || hi < lo { // clip and guard overflow
-			hi = iv.Hi
-		}
-		out = append(out, Interval{Lo: lo, Hi: hi})
-		if hi == iv.Hi {
-			break
-		}
+	return stride
+}
+
+// NumLanes returns how many non-empty lanes the split actually produces
+// (trailing lanes past Hi are dropped, matching Split).
+func (iv Interval) NumLanes(n int) int {
+	if iv.Empty() || n < 1 {
+		return 0
+	}
+	stride := iv.Stride(n)
+	span := iv.Hi - iv.Lo + 1
+	lanes := span / stride
+	if span%stride != 0 {
+		lanes++
+	}
+	return int(lanes)
+}
+
+// Lane returns the i-th lane of the n-way split: equal stride, with the
+// last lane clipped to Hi.
+func (iv Interval) Lane(n, i int) Interval {
+	stride := iv.Stride(n)
+	lo := iv.Lo + uint64(i)*stride
+	hi := lo + stride - 1
+	if hi > iv.Hi || hi < lo { // clip and guard overflow
+		hi = iv.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Split partitions [iv.Lo, iv.Hi] into at most n equal-stride
+// sub-intervals. Hot paths use Stride/NumLanes/Lane arithmetic instead of
+// materialising the slice; Split remains for tests and one-off callers.
+func (iv Interval) Split(n int) []Interval {
+	count := iv.NumLanes(n)
+	if count == 0 {
+		return nil
+	}
+	out := make([]Interval, count)
+	for i := range out {
+		out[i] = iv.Lane(n, i)
 	}
 	return out
 }
 
 // testOutDown is the broadcast payload of one TestOut: the odd hash and
-// the lane intervals' base parameters (the lanes themselves are recomputed
-// locally from Lo/Hi/NLanes, so the message stays O(1) words).
+// the lane intervals' base parameters. The stride is the precomputed lane
+// table — computed once per broadcast at the initiator, not once per node
+// — and is derived from Range/NLanes, so the message still carries only
+// O(1) words.
 type testOutDown struct {
 	Hash   hashing.OddHash
 	Range  Interval
 	NLanes int
+	stride uint64
 }
 
 // testOutDownBits: hash (2 words) + interval (2 words) + lane count.
 const testOutDownBits = 2*64 + 2*64 + 8
 
-// TestOutSpec builds the broadcast-and-echo computing, for each lane
-// sub-interval of rng, the parity of odd-hashed incident edge numbers with
-// composite weight in the lane (§2.1, §3.1). Tree-internal edges cancel
-// (counted at both endpoints), so each lane's aggregate bit is the parity
-// over that lane's cut edges: 1 proves a cut edge, 0 is inconclusive with
-// probability <= 7/8.
-func TestOutSpec(h hashing.OddHash, rng Interval, nLanes int) *tree.Spec {
-	down := testOutDown{Hash: h, Range: rng, NLanes: nLanes}
-	return &tree.Spec{
-		Down:     down,
-		DownBits: testOutDownBits,
-		UpBits:   Lanes,
-		Local: func(node *congest.NodeState, downAny any) any {
-			d := downAny.(testOutDown)
-			lanes := d.Range.Split(d.NLanes)
-			var word uint64
-			for i := range node.Edges {
-				he := &node.Edges[i]
-				if he.Composite < d.Range.Lo || he.Composite > d.Range.Hi {
-					continue
-				}
-				bit := d.Hash.Bit(he.EdgeNum)
-				if bit == 0 {
-					continue
-				}
-				for li, lane := range lanes {
-					if he.Composite >= lane.Lo && he.Composite <= lane.Hi {
-						word ^= uint64(1) << uint(li)
-						break
-					}
-				}
-			}
-			return word
-		},
-		Combine: func(node *congest.NodeState, downAny, local any, children []tree.ChildEcho) any {
-			word := local.(uint64)
-			for _, c := range children {
-				word ^= c.Value.(uint64)
-			}
-			return word
-		},
+// testOutLocalU computes one node's TestOut contribution: for each
+// incident edge in range whose odd-hash bit is set, flip the parity bit of
+// the edge's lane. The lane index is stride arithmetic — no per-node lane
+// slice, no per-edge lane scan.
+func testOutLocalU(node *congest.NodeState, downAny any) uint64 {
+	d := downAny.(*testOutDown)
+	var word uint64
+	for i := range node.Edges {
+		he := &node.Edges[i]
+		if he.Composite < d.Range.Lo || he.Composite > d.Range.Hi {
+			continue
+		}
+		if d.Hash.Bit(he.EdgeNum) == 0 {
+			continue
+		}
+		word ^= uint64(1) << uint((he.Composite-d.Range.Lo)/d.stride)
 	}
+	return word
 }
 
-// TestOutLanes runs one TestOut broadcast-and-echo from root over the lane
-// split of rng and returns the parity word: bit i set means lane i
-// certainly contains an edge leaving the tree. Zero bits are inconclusive.
-func TestOutLanes(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, h hashing.OddHash, rng Interval, nLanes int) (uint64, error) {
-	v, err := pr.BroadcastEcho(p, root, TestOutSpec(h, rng, nLanes))
-	if err != nil {
-		return 0, err
+// TestOutRunner is a reusable TestOut broadcast-and-echo: the spec, its
+// payload and the lane table are owned by the runner and refreshed in
+// place per call, so repeated probes (FindMin's narrowing loop) allocate
+// nothing. A runner belongs to one driver; echoes are XOR-folded words on
+// the unboxed lane.
+type TestOutRunner struct {
+	down testOutDown
+	spec tree.Spec
+}
+
+// NewTestOutRunner returns a runner ready for repeated probes.
+func NewTestOutRunner() *TestOutRunner {
+	t := &TestOutRunner{}
+	t.spec = tree.Spec{
+		Down:     &t.down,
+		DownBits: testOutDownBits,
+		UpBits:   Lanes,
+		LocalU:   testOutLocalU,
+		// CombineU nil: parity words XOR-fold.
 	}
-	return v.(uint64), nil
+	return t
+}
+
+// Lanes runs one TestOut broadcast-and-echo from root over the lane split
+// of rng and returns the parity word: bit i set means lane i certainly
+// contains an edge leaving the tree. Zero bits are inconclusive.
+func (t *TestOutRunner) Lanes(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, h hashing.OddHash, rng Interval, nLanes int) (uint64, error) {
+	t.down = testOutDown{Hash: h, Range: rng, NLanes: nLanes, stride: rng.Stride(nLanes)}
+	return pr.BroadcastEchoU(p, root, &t.spec)
+}
+
+// TestOutLanes is the one-shot form of TestOutRunner.Lanes.
+func TestOutLanes(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, h hashing.OddHash, rng Interval, nLanes int) (uint64, error) {
+	return NewTestOutRunner().Lanes(p, pr, root, h, rng, nLanes)
 }
 
 // TestOut is the single-interval form of the paper's TestOut(x, j, k): it

@@ -115,8 +115,9 @@ func Build(nw *congest.Network, pr *tree.Protocol, sp *Protocol, cfg BuildConfig
 	var result BuildResult
 	maxPhases := MaxPhases(nw.N(), cfg.C)
 	nw.Spawn("boruvka-st", func(p *congest.Proc) error {
+		var scratch congest.FanoutScratch[findany.Reason]
 		for phase := 1; phase <= maxPhases; phase++ {
-			stat, err := sp.runPhase(p, pr, cfg, phase)
+			stat, err := sp.runPhase(p, pr, cfg, phase, &scratch)
 			if err != nil {
 				return err
 			}
@@ -140,7 +141,7 @@ func Build(nw *congest.Network, pr *tree.Protocol, sp *Protocol, cfg BuildConfig
 
 // runPhase: detect and break cycles left by the previous phase's merges,
 // then elect leaders and run FindAny-C per fragment.
-func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig, phase int) (PhaseStat, error) {
+func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig, phase int, scratch *congest.FanoutScratch[findany.Reason]) (PhaseStat, error) {
 	nw := sp.nw
 	startMsgs := nw.Counters().Messages
 	startRounds := nw.Now()
@@ -182,8 +183,8 @@ func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig
 	}
 	stat.Fragments = len(elect.Leaders)
 
-	outcomes := make([]findany.Reason, len(elect.Leaders))
-	procs := make([]*congest.Proc, 0, len(elect.Leaders))
+	outcomes := scratch.Outcomes(len(elect.Leaders))
+	procs := scratch.Procs()
 	for i, leader := range elect.Leaders {
 		i, leader := i, leader
 		procs = append(procs, p.Go(fmt.Sprintf("findany-p%d-f%d", phase, leader), func(fp *congest.Proc) error {
@@ -201,6 +202,7 @@ func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig
 			return nil
 		}))
 	}
+	scratch.KeepProcs(procs)
 	if err := p.WaitAll(procs...); err != nil {
 		return stat, err
 	}

@@ -1,0 +1,81 @@
+package tree
+
+import (
+	"testing"
+
+	"kkt/internal/race"
+
+	"kkt/internal/congest"
+)
+
+// TestElectionWaveAllocs pins one global election wave on a 256-node
+// marked path at constant allocations: per-node election states live in
+// the protocol's reusable buffer, token receipts are edge-index bitmasks,
+// and the session machinery recycles slots. The budget covers the driver
+// spawn and the ElectResult assembly; per-node or per-token churn on a
+// 256-node path would exceed it by an order of magnitude.
+func TestElectionWaveAllocs(t *testing.T) {
+	race.SkipAllocTest(t)
+	const n = 256
+	nw, pr := pathNet(t, n)
+	wave := func() {
+		nw.Spawn("elect", func(p *congest.Proc) error {
+			res, err := pr.ElectAll(p)
+			if err != nil {
+				return err
+			}
+			if len(res.Leaders) != 1 {
+				t.Errorf("leaders = %v, want one", res.Leaders)
+			}
+			return nil
+		})
+		if err := nw.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wave() // warm the election buffer and session slots
+	avg := testing.AllocsPerRun(5, wave)
+	if avg > 48 {
+		t.Errorf("election wave on %d nodes: %.1f allocs, budget 48 — per-node churn reintroduced?", n, avg)
+	}
+}
+
+// TestUnboxedBroadcastEchoAllocs pins an unboxed-lane broadcast-and-echo
+// (the TestOut shape: XOR-folded words) on a 256-node marked path at
+// constant allocations: pooled beStates, slot-indexed specs, unboxed
+// echoes in Message.U, and CompleteSessionU/AwaitU end to end.
+func TestUnboxedBroadcastEchoAllocs(t *testing.T) {
+	race.SkipAllocTest(t)
+	const n = 256
+	nw, pr := pathNet(t, n)
+	spec := &Spec{
+		DownBits: 8,
+		UpBits:   64,
+		LocalU: func(node *congest.NodeState, down any) uint64 {
+			return uint64(node.ID)
+		},
+		CombineU: func(node *congest.NodeState, down any, acc, child uint64) uint64 {
+			return acc + child
+		},
+	}
+	wave := func() {
+		nw.Spawn("be", func(p *congest.Proc) error {
+			got, err := pr.BroadcastEchoU(p, 1, spec)
+			if err != nil {
+				return err
+			}
+			if want := uint64(n*(n+1)) / 2; got != want {
+				t.Errorf("sum = %d, want %d", got, want)
+			}
+			return nil
+		})
+		if err := nw.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wave() // warm the beState pool and message free list
+	avg := testing.AllocsPerRun(5, wave)
+	if avg > 32 {
+		t.Errorf("unboxed B&E on %d nodes: %.1f allocs, budget 32 — per-node churn reintroduced?", n, avg)
+	}
+}

@@ -27,12 +27,59 @@ type ElectResult struct {
 	CycleNodes []CycleNode
 }
 
-// electState is the per-node automaton state of one election wave.
+// electState is the per-node automaton state of one election wave. Token
+// receipts are a bitmask over the node's sorted edge slice (index =
+// position in NodeState.Edges) instead of a neighbour-ID map: recvLow
+// covers the first 64 incident edges inline, recvHigh spills lazily for
+// high-degree nodes. States live in the Protocol's reusable per-node
+// buffer, so a warm wave allocates nothing.
+//
+// Invariant: the topology must not mutate while a wave is in flight —
+// edge positions are the receipt keys, so an insert/delete would shift
+// them. The paper's algorithms only run elections on a quiescent
+// topology; onToken panics if a token arrives over a vanished edge.
 type electState struct {
-	received map[congest.NodeID]bool
+	recvLow  uint64
+	recvHigh []uint64
 	sentTo   congest.NodeID
 	decided  bool
 	isLeader bool
+}
+
+// reset clears a state for a new wave, keeping spill capacity.
+func (st *electState) reset() {
+	for i := range st.recvHigh {
+		st.recvHigh[i] = 0
+	}
+	st.recvLow = 0
+	st.sentTo = 0
+	st.decided = false
+	st.isLeader = false
+}
+
+// markReceived records a token received over the i-th incident edge.
+func (st *electState) markReceived(i int) {
+	if i < 64 {
+		st.recvLow |= 1 << uint(i)
+		return
+	}
+	w := (i - 64) >> 6
+	for len(st.recvHigh) <= w {
+		st.recvHigh = append(st.recvHigh, 0)
+	}
+	st.recvHigh[w] |= 1 << uint((i-64)&63)
+}
+
+// received reports whether a token arrived over the i-th incident edge.
+func (st *electState) received(i int) bool {
+	if i < 64 {
+		return st.recvLow&(1<<uint(i)) != 0
+	}
+	w := (i - 64) >> 6
+	if w >= len(st.recvHigh) {
+		return false
+	}
+	return st.recvHigh[w]&(1<<uint((i-64)&63)) != 0
 }
 
 // StartElectAll begins a synchronised election wave across all nodes: a
@@ -44,9 +91,22 @@ type electState struct {
 func (pr *Protocol) StartElectAll() congest.SessionID {
 	var sid congest.SessionID
 	sid = pr.nw.NewSession(func() (any, error) { return pr.collectElection(sid) })
-	for v := 1; v <= pr.nw.N(); v++ {
+	n := pr.nw.N()
+	var states []electState
+	if pr.electSid == 0 {
+		if cap(pr.electBuf) < n+1 {
+			pr.electBuf = make([]electState, n+1)
+		}
+		pr.electBuf = pr.electBuf[:n+1]
+		pr.electSid = sid
+		states = pr.electBuf
+	} else {
+		states = make([]electState, n+1) // concurrent wave: rare, correct, slower
+	}
+	for v := 1; v <= n; v++ {
 		node := pr.nw.Node(congest.NodeID(v))
-		st := &electState{received: make(map[congest.NodeID]bool)}
+		st := &states[v]
+		st.reset()
 		node.SetSessionState(sid, st)
 		pr.electMaybeAct(node, sid, st)
 	}
@@ -83,7 +143,7 @@ func (pr *Protocol) electMaybeAct(node *congest.NodeState, sid congest.SessionID
 			continue
 		}
 		marked++
-		if !st.received[he.Neighbor] {
+		if !st.received(i) {
 			pending++
 			if pending == 1 {
 				firstPending = he.Neighbor
@@ -117,12 +177,16 @@ func (pr *Protocol) onToken(nw *congest.Network, node *congest.NodeState, msg *c
 	if !ok {
 		panic(fmt.Sprintf("tree: node %d got election token without state in session %d", node.ID, msg.Session))
 	}
-	st.received[msg.From] = true
+	i := node.EdgeIndex(msg.From)
+	if i < 0 {
+		panic(fmt.Sprintf("tree: node %d got election token over vanished edge from %d — topology mutated mid-wave", node.ID, msg.From))
+	}
+	st.markReceived(i)
 	pr.electMaybeAct(node, msg.Session, st)
 }
 
 // collectElection is the quiescence callback: gather leaders and stuck
-// (cycle) nodes, and clean up all per-node state.
+// (cycle) nodes, clean up all per-node state, and release the wave buffer.
 func (pr *Protocol) collectElection(sid congest.SessionID) (any, error) {
 	var res ElectResult
 	for v := 1; v <= pr.nw.N(); v++ {
@@ -136,17 +200,30 @@ func (pr *Protocol) collectElection(sid congest.SessionID) (any, error) {
 			res.Leaders = append(res.Leaders, node.ID)
 		}
 		if !st.decided {
-			var pending []congest.NodeID
-			for _, nb := range node.MarkedNeighbors() {
-				if !st.received[nb] {
-					pending = append(pending, nb)
+			// Count pending neighbours without building a list: most
+			// undecided nodes are interior path nodes with exactly one
+			// pending edge, and this sweep visits every node.
+			pending := 0
+			var left, right congest.NodeID
+			for i := range node.Edges {
+				if node.Edges[i].Marked && !st.received(i) {
+					switch pending {
+					case 0:
+						left = node.Edges[i].Neighbor
+					case 1:
+						right = node.Edges[i].Neighbor
+					}
+					pending++
 				}
 			}
-			if len(pending) == 2 {
-				res.CycleNodes = append(res.CycleNodes, CycleNode{Node: node.ID, Left: pending[0], Right: pending[1]})
+			if pending == 2 {
+				res.CycleNodes = append(res.CycleNodes, CycleNode{Node: node.ID, Left: left, Right: right})
 			}
 		}
 		node.SetSessionState(sid, nil)
+	}
+	if pr.electSid == sid {
+		pr.electSid = 0
 	}
 	sort.Slice(res.Leaders, func(i, j int) bool { return res.Leaders[i] < res.Leaders[j] })
 	sort.Slice(res.CycleNodes, func(i, j int) bool { return res.CycleNodes[i].Node < res.CycleNodes[j].Node })

@@ -32,21 +32,38 @@ var (
 	KindMarkX = congest.Kind("tree.markx") // cross-edge mark request (add-edge forwarding)
 )
 
-// Protocol is the per-network instance holding session specs and the
-// protocol RNG stream (used only for node-local random choices).
+// Protocol is the per-network instance holding session specs, the state
+// pools that keep the per-message path allocation-free, and the protocol
+// RNG stream (used only for node-local random choices).
 type Protocol struct {
-	nw    *congest.Network
-	specs map[congest.SessionID]*Spec
-	r     *rng.RNG
+	nw *congest.Network
+	// specs binds live broadcast-and-echo sessions to their Spec, indexed
+	// by the engine's recycled session slot and validated by the full
+	// session ID — no map on the per-message path.
+	specs []specSlot
+	// beFree recycles per-node broadcast-and-echo automaton states.
+	beFree []*beState
+	// electBuf is the reusable per-node election state array; electSid is
+	// the session currently borrowing it (0 = free). A second concurrent
+	// wave — which never happens in the paper's algorithms — falls back to
+	// a fresh allocation.
+	electBuf []electState
+	electSid congest.SessionID
+	r        *rng.RNG
+}
+
+// specSlot is one entry of the slot-indexed session->spec table.
+type specSlot struct {
+	sid  congest.SessionID
+	spec *Spec
 }
 
 // Attach registers the tree protocol handlers on nw and returns the
 // instance. Call exactly once per network.
 func Attach(nw *congest.Network) *Protocol {
 	pr := &Protocol{
-		nw:    nw,
-		specs: make(map[congest.SessionID]*Spec),
-		r:     nw.Rand(),
+		nw: nw,
+		r:  nw.Rand(),
 	}
 	nw.RegisterHandler(KindDown, pr.onDown)
 	nw.RegisterHandler(KindUp, pr.onUp)
@@ -60,9 +77,11 @@ func (pr *Protocol) Network() *congest.Network { return pr.nw }
 
 // NodeRand returns a deterministic node-local RNG for a given session —
 // the node's private coin flips (e.g. the cycle-breaking choice in
-// Build-ST).
+// Build-ST). The session's creation serial (not the packed ID) seeds the
+// stream, so the draws are independent of session-slot recycling and
+// identical to the historical monotonic-ID seeding.
 func (pr *Protocol) NodeRand(node congest.NodeID, sid congest.SessionID) *rng.RNG {
-	return rng.New(uint64(node)*0x9e3779b97f4a7c15 ^ uint64(sid)*0xbf58476d1ce4e5b9 ^ 0xc2b2ae3d27d4eb4f)
+	return rng.New(uint64(node)*0x9e3779b97f4a7c15 ^ sid.Serial()*0xbf58476d1ce4e5b9 ^ 0xc2b2ae3d27d4eb4f)
 }
 
 // SendMarkX asks the node across the (existing, typically unmarked) link
