@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-micro bench-ci bench-baseline bench-check clean
+.PHONY: build test race vet bench bench-micro bench-ci bench-1m bench-history bench-baseline bench-check clean
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,23 @@ bench-micro:
 	$(GO) test -run '^$$' -bench BenchmarkRepairStorm -benchtime 10x -benchmem ./internal/harness
 
 # Short-mode CI bench job: micro-benchmarks plus a 1-trial sweep of the
-# full suite — including the 100k-node and 50k-node scale scenarios —
-# emitting BENCH_ci.json as the per-commit perf artifact.
+# full suite — including the 100k-node and 50k-node scale scenarios, but
+# not the 1M-node headline (run `make bench-1m` for that) — emitting
+# BENCH_ci.json as the per-commit perf artifact.
 bench-ci: bench-micro
-	$(GO) run ./cmd/kkt bench --trials 1 --seed 1 --quiet --out BENCH_ci.json
+	$(GO) run ./cmd/kkt bench --trials 1 --seed 1 --quiet --exclude gnm-1m --out BENCH_ci.json
+
+# The 1M-node sharded headline scenario: one seeded trial, one shard per
+# core. Takes minutes; emits BENCH_1m.json.
+bench-1m:
+	$(GO) run ./cmd/kkt bench --filter gnm-1m --trials 1 --seed 1 --shards $$(nproc) --out BENCH_1m.json
+
+# Fold per-commit BENCH_ci.json artifacts into the perf-trajectory table
+# (markdown; see `benchcheck history -h` for CSV). Pass more reports as
+# HISTORY_REPORTS to chart across commits.
+HISTORY_REPORTS ?= BENCH_ci.json
+bench-history:
+	$(GO) run ./cmd/benchcheck history -format md -o BENCH_history.md $(HISTORY_REPORTS)
 
 # Refresh the committed perf baseline from the pinned micro-benchmarks.
 # Run on the reference machine after an intentional perf change, commit
@@ -46,4 +59,4 @@ bench-check:
 	$(GO) run ./cmd/benchcheck compare -baseline BENCH_baseline.json -fresh BENCH_micro_ci.json
 
 clean:
-	rm -f BENCH_ci.json BENCH_suite.json BENCH_micro_ci.json
+	rm -f BENCH_ci.json BENCH_suite.json BENCH_micro_ci.json BENCH_1m.json BENCH_history.md

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the `history` subcommand: it folds a sequence of per-commit
+// BENCH_ci.json suite reports (the artifact `make bench-ci` emits) into a
+// perf-trajectory table, markdown or CSV. CI runs it over the current
+// commit's report and uploads the result; pointing it at several downloaded
+// artifacts in commit order renders the trajectory across commits.
+
+// historyReport is the subset of the harness bench report (schema
+// kkt/bench/v1) the trajectory needs. Decoded structurally instead of
+// importing internal/harness: the tool must keep reading old artifacts
+// even as the harness types evolve.
+type historyReport struct {
+	Schema  string `json:"schema"`
+	Suite   string `json:"suite"`
+	Seed    uint64 `json:"seed"`
+	Trials  int    `json:"trials"`
+	Results []struct {
+		Spec struct {
+			Name string `json:"name"`
+		} `json:"spec"`
+		Summary struct {
+			Messages historyAgg `json:"messages"`
+			Bits     historyAgg `json:"bits"`
+			Time     historyAgg `json:"time"`
+			Valid    int        `json:"valid"`
+			Failed   int        `json:"failed"`
+		} `json:"summary"`
+	} `json:"results"`
+}
+
+type historyAgg struct {
+	Mean float64 `json:"mean"`
+	P50  uint64  `json:"p50"`
+}
+
+// historyColumn is one report in the trajectory, labelled by its file name.
+type historyColumn struct {
+	label  string
+	report historyReport
+}
+
+func cmdHistory(args []string) int {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	format := fs.String("format", "md", "output format: md or csv")
+	metric := fs.String("metric", "messages", "markdown cell metric: messages, bits or time (p50)")
+	out := fs.String("o", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck history [-format md|csv] [-metric messages|bits|time] [-o out] report.json...")
+		return 2
+	}
+	cols, err := loadHistory(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		return 1
+	}
+	var buf strings.Builder
+	switch *format {
+	case "md":
+		if err := writeHistoryMarkdown(&buf, cols, *metric); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			return 1
+		}
+	case "csv":
+		writeHistoryCSV(&buf, cols)
+	default:
+		fmt.Fprintf(os.Stderr, "benchcheck: unknown format %q (want md or csv)\n", *format)
+		return 2
+	}
+	if *out == "" {
+		os.Stdout.WriteString(buf.String())
+		return 0
+	}
+	if err := os.WriteFile(*out, []byte(buf.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		return 1
+	}
+	return 0
+}
+
+func loadHistory(paths []string) ([]historyColumn, error) {
+	cols := make([]historyColumn, 0, len(paths))
+	for _, path := range paths {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep historyReport
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if !strings.HasPrefix(rep.Schema, "kkt/bench/") {
+			return nil, fmt.Errorf("%s: schema %q is not a kkt bench report", path, rep.Schema)
+		}
+		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		cols = append(cols, historyColumn{label: label, report: rep})
+	}
+	return cols, nil
+}
+
+// historyScenarios returns scenario names in first-seen order across the
+// columns, so a scenario added mid-history appears after the stable ones.
+func historyScenarios(cols []historyColumn) []string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, c := range cols {
+		for _, r := range c.report.Results {
+			if !seen[r.Spec.Name] {
+				seen[r.Spec.Name] = true
+				names = append(names, r.Spec.Name)
+			}
+		}
+	}
+	return names
+}
+
+// writeHistoryMarkdown renders the wide trajectory table: one row per
+// scenario, one column per report, cells carrying the chosen metric's p50
+// (failed trials flag the cell).
+func writeHistoryMarkdown(w io.Writer, cols []historyColumn, metric string) error {
+	pick := func(s historyAgg) uint64 { return s.P50 }
+	switch metric {
+	case "messages", "bits", "time":
+	default:
+		return fmt.Errorf("unknown metric %q (want messages, bits or time)", metric)
+	}
+	fmt.Fprintf(w, "# Perf trajectory — %s (p50)\n\n", metric)
+	fmt.Fprint(w, "| scenario |")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %s |", c.label)
+	}
+	fmt.Fprint(w, "\n|---|")
+	for range cols {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, name := range historyScenarios(cols) {
+		fmt.Fprintf(w, "| %s |", name)
+		for _, c := range cols {
+			cell := ""
+			for _, r := range c.report.Results {
+				if r.Spec.Name != name {
+					continue
+				}
+				var agg historyAgg
+				switch metric {
+				case "messages":
+					agg = r.Summary.Messages
+				case "bits":
+					agg = r.Summary.Bits
+				case "time":
+					agg = r.Summary.Time
+				}
+				cell = fmt.Sprintf("%d", pick(agg))
+				if r.Summary.Failed > 0 {
+					cell += fmt.Sprintf(" (%d failed)", r.Summary.Failed)
+				}
+				break
+			}
+			fmt.Fprintf(w, " %s |", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// writeHistoryCSV renders the long-form table: one row per (report,
+// scenario) with every metric, ready for spreadsheet or plotting tools.
+func writeHistoryCSV(w io.Writer, cols []historyColumn) {
+	fmt.Fprintln(w, "artifact,seed,trials,scenario,messages_p50,messages_mean,bits_p50,time_p50,valid,failed")
+	for _, c := range cols {
+		for _, r := range c.report.Results {
+			fmt.Fprintf(w, "%s,%d,%d,%s,%d,%.1f,%d,%d,%d,%d\n",
+				c.label, c.report.Seed, c.report.Trials, r.Spec.Name,
+				r.Summary.Messages.P50, r.Summary.Messages.Mean,
+				r.Summary.Bits.P50, r.Summary.Time.P50,
+				r.Summary.Valid, r.Summary.Failed)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleReport mirrors the kkt/bench/v1 shape NewReport marshals; only the
+// fields history reads are populated.
+const sampleReport = `{
+  "schema": "kkt/bench/v1",
+  "suite": "builtin",
+  "seed": 1,
+  "trials": 2,
+  "results": [
+    {
+      "spec": {"name": "mst-build/gnm/sync"},
+      "summary": {
+        "messages": {"mean": 1000.5, "p50": 990, "p99": 1100, "min": 900, "max": 1100},
+        "bits": {"mean": 64000, "p50": 63000, "p99": 70000, "min": 60000, "max": 70000},
+        "time": {"mean": 120, "p50": 118, "p99": 130, "min": 110, "max": 130},
+        "valid": 2, "failed": 0
+      }
+    },
+    {
+      "spec": {"name": "flood/gnm/sync"},
+      "summary": {
+        "messages": {"mean": 400, "p50": 400, "p99": 400, "min": 400, "max": 400},
+        "bits": {"mean": 3200, "p50": 3200, "p99": 3200, "min": 3200, "max": 3200},
+        "time": {"mean": 9, "p50": 9, "p99": 9, "min": 9, "max": 9},
+        "valid": 1, "failed": 1
+      }
+    }
+  ]
+}`
+
+func writeReport(t *testing.T, dir, name, blob string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHistoryMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "BENCH_abc123.json", sampleReport)
+	// Second column: same suite, one scenario improved.
+	b := writeReport(t, dir, "BENCH_def456.json",
+		strings.Replace(sampleReport, `"p50": 990`, `"p50": 880`, 1))
+	cols, err := loadHistory([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := writeHistoryMarkdown(&buf, cols, "messages"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"| scenario | BENCH_abc123 | BENCH_def456 |",
+		"| mst-build/gnm/sync | 990 | 880 |",
+		"| flood/gnm/sync | 400 (1 failed) | 400 (1 failed) |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	if err := writeHistoryMarkdown(&buf, cols, "latency"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestHistoryCSV(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "BENCH_abc123.json", sampleReport)
+	cols, err := loadHistory([]string{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	writeHistoryCSV(&buf, cols)
+	out := buf.String()
+	for _, want := range []string{
+		"artifact,seed,trials,scenario,messages_p50,messages_mean,bits_p50,time_p50,valid,failed",
+		"BENCH_abc123,1,2,mst-build/gnm/sync,990,1000.5,63000,118,2,0",
+		"BENCH_abc123,1,2,flood/gnm/sync,400,400.0,3200,9,1,1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistoryRejectsForeignSchema(t *testing.T) {
+	dir := t.TempDir()
+	p := writeReport(t, dir, "junk.json", `{"schema": "other/v9"}`)
+	if _, err := loadHistory([]string{p}); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}

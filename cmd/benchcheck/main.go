@@ -1,8 +1,10 @@
 // Command benchcheck turns `go test -bench` output into a JSON perf
-// artifact and gates regressions against a committed baseline.
+// artifact, gates regressions against a committed baseline, and folds
+// per-commit suite reports into a perf-trajectory table.
 //
 //	benchcheck parse [-o out.json]            # stdin: go test -bench output
 //	benchcheck compare -baseline a.json -fresh b.json [-ns-tol 0.20] [-allocs-tol 0.02]
+//	benchcheck history [-format md|csv] [-metric messages|bits|time] [-o out] BENCH_ci.json...
 //
 // compare exits non-zero when a pinned micro-benchmark regresses: an
 // allocs/op increase beyond its (small) relative tolerance — which keeps
@@ -50,6 +52,8 @@ func main() {
 		os.Exit(cmdParse(os.Args[2:]))
 	case "compare":
 		os.Exit(cmdCompare(os.Args[2:]))
+	case "history":
+		os.Exit(cmdHistory(os.Args[2:]))
 	default:
 		usage()
 	}
@@ -58,6 +62,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: benchcheck parse [-o out.json] < bench-output")
 	fmt.Fprintln(os.Stderr, "       benchcheck compare -baseline a.json -fresh b.json [-ns-tol 0.20] [-allocs-tol 0.02]")
+	fmt.Fprintln(os.Stderr, "       benchcheck history [-format md|csv] [-metric messages|bits|time] [-o out] report.json...")
 	os.Exit(2)
 }
 

@@ -6,9 +6,9 @@
 // Usage:
 //
 //	kkt list [--json]
-//	kkt run <scenario> [--trials N] [--seed S] [--workers W] [--json]
-//	kkt bench [--filter SUBSTR] [--trials N] [--seed S] [--workers W]
-//	          [--json] [--out FILE] [--quiet]
+//	kkt run <scenario> [--trials N] [--seed S] [--workers W] [--shards S] [--json]
+//	kkt bench [--filter SUBSTR] [--exclude SUBSTRS] [--trials N] [--seed S]
+//	          [--workers W] [--shards S] [--json] [--out FILE] [--quiet]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync/atomic"
 	"text/tabwriter"
 
@@ -101,6 +102,7 @@ type runFlags struct {
 	trials  int
 	seed    uint64
 	workers int
+	shards  int
 	jsonOut bool
 }
 
@@ -108,6 +110,7 @@ func addRunFlags(fs *flag.FlagSet, rf *runFlags) {
 	fs.IntVar(&rf.trials, "trials", 4, "seeded trials per scenario")
 	fs.Uint64Var(&rf.seed, "seed", 1, "base seed (identical seeds give byte-identical metrics)")
 	fs.IntVar(&rf.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&rf.shards, "shards", 1, "shards per trial: multi-core single trials, metrics byte-identical at any value")
 	fs.BoolVar(&rf.jsonOut, "json", false, "emit JSON instead of a table")
 }
 
@@ -157,7 +160,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("run takes exactly one scenario name (see 'kkt list')")
 	}
 	reg := harness.Builtin()
-	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers}
+	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers, Shards: rf.shards}
 	results, err := harness.RunNamed(reg, []string{name}, cfg)
 	if err != nil {
 		return err
@@ -177,6 +180,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	var rf runFlags
 	addRunFlags(fs, &rf)
 	filter := fs.String("filter", "", "only scenarios whose name contains this substring")
+	exclude := fs.String("exclude", "", "skip scenarios whose name contains any of these comma-separated substrings")
 	out := fs.String("out", "BENCH_suite.json", "report file path")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	if err := parseFlags(fs, args); err != nil {
@@ -184,10 +188,19 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	}
 	reg := harness.Builtin()
 	specs := reg.Match(*filter)
-	if len(specs) == 0 {
-		return fmt.Errorf("no scenario matches %q", *filter)
+	if *exclude != "" {
+		kept := specs[:0]
+		for _, s := range specs {
+			if !nameExcluded(s.Name, *exclude) {
+				kept = append(kept, s)
+			}
+		}
+		specs = kept
 	}
-	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers}.Normalized()
+	if len(specs) == 0 {
+		return fmt.Errorf("no scenario matches filter %q / exclude %q", *filter, *exclude)
+	}
+	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers, Shards: rf.shards}.Normalized()
 	total := len(specs) * cfg.Trials
 	var done atomic.Int64
 	if !*quiet {
@@ -203,6 +216,9 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	suite := "builtin"
 	if *filter != "" {
 		suite = fmt.Sprintf("builtin[filter=%s]", *filter)
+	}
+	if *exclude != "" {
+		suite += fmt.Sprintf("[exclude=%s]", *exclude)
 	}
 	report := harness.NewReport(suite, cfg, results)
 	blob, err := report.MarshalIndent()
@@ -223,6 +239,17 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "\nreport written to %s\n", *out)
 	}
 	return reportTrialErrors(stderr, results)
+}
+
+// nameExcluded reports whether name contains any of the comma-separated
+// substrings in excludes (empty fragments are ignored).
+func nameExcluded(name, excludes string) bool {
+	for _, frag := range strings.Split(excludes, ",") {
+		if frag != "" && strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
 }
 
 // reportTrialErrors surfaces failed trials on stderr and returns an error

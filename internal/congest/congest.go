@@ -39,6 +39,7 @@ import (
 	"kkt/internal/bitwidth"
 	"kkt/internal/graph"
 	"kkt/internal/rng"
+	"kkt/internal/shard"
 )
 
 // NodeID identifies a processor; IDs are 1..n (compact, post-fingerprint).
@@ -329,7 +330,6 @@ type Network struct {
 	// topology mutation, never on the send path. Lazily built.
 	fifoTomb map[uint64]int64
 
-	procs  []*Proc
 	runq   []wakeup
 	rng    *rng.RNG
 	budget int
@@ -337,6 +337,26 @@ type Network struct {
 	msgFree []*Message // recycled Message structs
 
 	stagedDrops uint64 // staged mark changes dropped on vanished edges
+
+	// shards is the configured shard count (1 = single-threaded). The
+	// sharded executor only engages under the synchronous scheduler; see
+	// shard.go for the engine and the determinism contract.
+	shards   int
+	shardEng *shardEngine
+	// lane is non-nil only on a per-shard view of the network: the engine
+	// hands handlers a view whose mutating operations (sends, completions,
+	// message recycling, counter charges) divert into the shard's ordered
+	// lane instead of touching shared state. The root network's lane is
+	// nil and all operations apply directly.
+	lane *shardLane
+
+	// procFree recycles parked driver goroutines (with their channels)
+	// across spawns within one Run; allProcs lists every driver goroutine
+	// created since the pool was last drained, live counts the unfinished
+	// ones. See proc.go.
+	procFree []*Proc
+	allProcs []*Proc
+	live     int
 
 	running             bool
 	deadlockResolutions int
@@ -361,11 +381,21 @@ type config struct {
 	seed     uint64
 	async    bool
 	maxDelay int64
+	shards   int
 }
 
 // WithSeed sets the engine's random seed (async delays; protocols draw
 // their own randomness from driver-visible RNGs).
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithShards partitions the nodes into s shards whose synchronous rounds
+// execute on parallel workers. The sharded engine is observably identical
+// to the single-threaded one — delivery order, driver scheduling, session
+// serials and every counter are byte-for-byte the same at any shard count
+// — so s is purely a wall-clock knob. s <= 1 keeps the single-threaded
+// path; the asynchronous scheduler (one event at a time by definition)
+// ignores sharding.
+func WithShards(s int) Option { return func(c *config) { c.shards = s } }
 
 // WithAsync switches to the asynchronous scheduler with per-message delays
 // uniform in [1, maxDelay] (FIFO per link). The paper's repair algorithms
@@ -429,6 +459,12 @@ func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 		nw.sched = newAsyncScheduler(nw.rng.Split(), cfg.maxDelay)
 	} else {
 		nw.sched = newSyncScheduler()
+		if cfg.shards > 1 {
+			nw.shards = shard.NewPartition(g.N, cfg.shards).Shards()
+		}
+	}
+	if nw.shards < 1 {
+		nw.shards = 1
 	}
 	return nw
 }
@@ -526,12 +562,17 @@ func (nw *Network) HasHandler(kind KindID) bool {
 	return kind >= 0 && int(kind) < len(nw.handlers) && nw.handlers[kind] != nil
 }
 
-// getMessage pops a recycled Message or allocates a fresh one.
+// getMessage pops a recycled Message or allocates a fresh one. On a shard
+// view the shard's private free list is used, so workers never contend.
 func (nw *Network) getMessage() *Message {
-	if n := len(nw.msgFree); n > 0 {
-		m := nw.msgFree[n-1]
-		nw.msgFree[n-1] = nil
-		nw.msgFree = nw.msgFree[:n-1]
+	free := &nw.msgFree
+	if nw.lane != nil {
+		free = &nw.lane.msgFree
+	}
+	if n := len(*free); n > 0 {
+		m := (*free)[n-1]
+		(*free)[n-1] = nil
+		*free = (*free)[:n-1]
 		return m
 	}
 	return &Message{}
@@ -540,6 +581,10 @@ func (nw *Network) getMessage() *Message {
 // putMessage returns a delivered (or dropped) Message to the free list.
 func (nw *Network) putMessage(m *Message) {
 	m.Payload = nil // release the reference for GC
+	if nw.lane != nil {
+		nw.lane.msgFree = append(nw.lane.msgFree, m)
+		return
+	}
 	nw.msgFree = append(nw.msgFree, m)
 }
 
@@ -569,6 +614,17 @@ func (nw *Network) send(from, to NodeID, kind KindID, sid SessionID, bits int, p
 	if !nw.HasHandler(kind) {
 		panic(fmt.Sprintf("congest: no handler registered for kind %q", kind))
 	}
+	if l := nw.lane; l != nil {
+		// Sharded delivery in flight: stage the send in the shard's ordered
+		// lane. The global sequence number is assigned at the deterministic
+		// merge, in exactly the order a single-threaded round would have.
+		m := nw.getMessage()
+		m.From, m.To, m.Kind, m.Session = from, to, kind, sid
+		m.Bits, m.Payload, m.U, m.seq = bits, payload, u, 0
+		l.counters.charge(kind, total)
+		l.out.Push(l.id, l.parent, laneOp{m: m})
+		return
+	}
 	nw.nextSeq++
 	m := nw.getMessage()
 	m.From, m.To, m.Kind, m.Session = from, to, kind, sid
@@ -595,8 +651,14 @@ func (nw *Network) freeSession(s *session) {
 	nw.freeSlots = append(nw.freeSlots, int32(slot))
 }
 
-// NewSession allocates a session. onQuiescence may be nil.
+// NewSession allocates a session. onQuiescence may be nil. Sessions are a
+// driver-side concept: creating one from a message handler would make the
+// serial order (and with it all derived randomness) depend on delivery
+// interleaving, so it is rejected outright on a shard view.
 func (nw *Network) NewSession(onQuiescence func() (any, error)) SessionID {
+	if nw.lane != nil {
+		panic("congest: NewSession from a message handler — sessions are created by drivers")
+	}
 	var slot int
 	if n := len(nw.freeSlots); n > 0 {
 		slot = int(nw.freeSlots[n-1])
@@ -631,6 +693,14 @@ func (nw *Network) CompleteSessionU(sid SessionID, u uint64, err error) {
 }
 
 func (nw *Network) completeSession(sid SessionID, w wake) {
+	if l := nw.lane; l != nil {
+		// Sharded delivery in flight: defer the completion into the lane.
+		// It applies (slot mutation, waiter wakeup, double-complete checks
+		// and all) at the deterministic merge, interleaved with the
+		// handler's sends in emission order.
+		l.out.Push(l.id, l.parent, laneOp{sid: sid, w: w, complete: true})
+		return
+	}
 	s := nw.lookupSession(sid)
 	if s == nil {
 		panic(fmt.Sprintf("congest: completing unknown session %d", sid))
@@ -672,7 +742,31 @@ func (nw *Network) ResetCounters() { nw.counters.reset() }
 func (nw *Network) Now() int64 { return nw.sched.now() }
 
 // Rand returns a sub-RNG for protocol use, split off the engine stream.
-func (nw *Network) Rand() *rng.RNG { return nw.rng.Split() }
+// Driver-side only: a handler drawing from the shared stream would tie the
+// draws to delivery interleaving, so shard views reject it.
+func (nw *Network) Rand() *rng.RNG {
+	if nw.lane != nil {
+		panic("congest: Rand from a message handler — use deterministic per-node randomness instead")
+	}
+	return nw.rng.Split()
+}
+
+// Lanes returns the number of execution lanes protocol state pools should
+// be provisioned for: the shard count (1 when unsharded). Lane-indexed
+// pools are how protocol layers keep their free lists contention-free
+// under the sharded engine.
+func (nw *Network) Lanes() int { return nw.shards }
+
+// LaneID identifies the execution lane of this network value: shard
+// workers see their shard index, everything driver-side sees 0. Drivers
+// and shard 0 share lane 0 — they never run concurrently, so sharing its
+// pools is safe.
+func (nw *Network) LaneID() int {
+	if nw.lane != nil {
+		return nw.lane.id
+	}
+	return 0
+}
 
 // --- topology mutation (the "environment": uncharged) ---
 

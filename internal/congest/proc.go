@@ -13,15 +13,30 @@ var ErrDeadlock = errors.New("congest: deadlock: drivers blocked with no message
 // node runs (e.g. FindMin's narrowing loop, or the global Borůvka phase
 // controller). Its methods may only be called from within the driver's own
 // function; the engine guarantees that while they run, nothing else does.
+//
+// Procs are pooled: the goroutine and its channels persist across spawns
+// within one Run, parked between assignments. At scale (one driver per
+// fragment per Borůvka phase) this is what keeps driver fan-out from being
+// the residual allocator — a warm phase reuses the previous phase's
+// goroutines instead of spawning fresh ones.
 type Proc struct {
-	nw   *Network
-	name string
+	nw *Network
+	// name is the diagnostic name (Spawn); tagged drivers (GoTagged) store
+	// prefix and tags instead and format only when Name is called, so the
+	// per-fragment fan-out never builds strings.
+	name       string
+	prefix     string
+	tagA, tagB uint64
+	tagged     bool
+
+	fn func(*Proc) error
 
 	resume chan wake
 	yield  chan struct{}
 
 	doneSession SessionID
 	finished    bool
+	pooled      bool
 	err         error
 	awaiting    SessionID // 0 when not blocked; diagnostic only
 }
@@ -36,30 +51,94 @@ func (nw *Network) Spawn(name string, fn func(*Proc) error) *Proc {
 	return nw.spawn(name, fn)
 }
 
-func (nw *Network) spawn(name string, fn func(*Proc) error) *Proc {
+// getProc pops a parked driver goroutine from the pool or starts a new
+// one. A fresh proc's goroutine loops: park on resume, run the assigned
+// function, park again — so reuse costs two channel operations and zero
+// allocations.
+func (nw *Network) getProc() *Proc {
+	if n := len(nw.procFree); n > 0 {
+		p := nw.procFree[n-1]
+		nw.procFree[n-1] = nil
+		nw.procFree = nw.procFree[:n-1]
+		p.pooled = false
+		return p
+	}
 	p := &Proc{
 		nw:     nw,
-		name:   name,
 		resume: make(chan wake),
 		yield:  make(chan struct{}),
 	}
-	p.doneSession = nw.NewSession(nil)
-	nw.procs = append(nw.procs, p)
-	go func() {
-		<-p.resume // first activation by the engine
+	nw.allProcs = append(nw.allProcs, p)
+	go p.loop()
+	return p
+}
+
+// loop is the persistent driver goroutine: one assignment per wakeup, a
+// nil fn is the shutdown poison (sent by the Run teardown; no yield
+// follows it, the sender does not wait).
+func (p *Proc) loop() {
+	for {
+		<-p.resume // activation by the engine
+		fn := p.fn
+		if fn == nil {
+			return
+		}
 		err := fn(p)
 		// Still the active driver here: safe to touch the network.
 		p.finished = true
 		p.err = err
+		p.nw.live--
 		p.nw.CompleteSession(p.doneSession, nil, err)
+		p.fn = nil
 		p.yield <- struct{}{}
-	}()
+	}
+}
+
+func (nw *Network) spawn(name string, fn func(*Proc) error) *Proc {
+	p := nw.getProc()
+	p.name, p.tagged = name, false
+	p.fn = fn
+	p.finished, p.err, p.awaiting = false, nil, 0
+	p.doneSession = nw.NewSession(nil)
+	nw.live++
 	nw.runq = append(nw.runq, wakeup{p: p})
 	return p
 }
 
-// Name returns the driver's diagnostic name.
-func (p *Proc) Name() string { return p.name }
+// releaseProc parks a joined driver in the pool for reuse. Only callers
+// that have consumed the proc's done session may release it — anyone else
+// could still await the (now recycled) session of a re-spawned proc.
+func (nw *Network) releaseProc(p *Proc) {
+	if !p.finished || p.pooled {
+		return
+	}
+	p.pooled = true
+	nw.procFree = append(nw.procFree, p)
+}
+
+// drainProcPool poisons every parked driver goroutine at Run end: pooled
+// procs and finished-but-unjoined ones alike exit their loops, so an
+// abandoned network never pins goroutines. Blocked drivers (only possible
+// after an unresolved deadlock) are left alone, exactly as before pooling.
+func (nw *Network) drainProcPool() {
+	for _, p := range nw.allProcs {
+		if p.finished && p.fn == nil {
+			p.resume <- wake{} // nil fn: the loop exits without yielding
+		}
+	}
+	nw.allProcs = nw.allProcs[:0]
+	nw.procFree = nw.procFree[:0]
+	nw.live = 0
+}
+
+// Name returns the driver's diagnostic name. Tagged drivers format it on
+// demand — the hot spawn path never builds it.
+func (p *Proc) Name() string {
+	if p.tagged {
+		return fmt.Sprintf("%s-p%d-f%d", p.prefix, p.tagA, p.tagB)
+	}
+	return p.name
+}
 
 // Network returns the network the driver runs on.
 func (p *Proc) Network() *Network { return p.nw }
@@ -127,8 +206,20 @@ func (p *Proc) Go(name string, fn func(*Proc) error) *Proc {
 	return p.nw.spawn(name, fn)
 }
 
+// GoTagged spawns a child driver named "<prefix>-p<a>-f<b>" without
+// building the string: per-fragment fan-outs (one driver per fragment per
+// phase) use it so driver naming costs nothing unless a diagnostic
+// actually prints it.
+func (p *Proc) GoTagged(prefix string, a, b uint64, fn func(*Proc) error) *Proc {
+	c := p.nw.spawn("", fn)
+	c.prefix, c.tagA, c.tagB, c.tagged = prefix, a, b, true
+	return c
+}
+
 // WaitAll blocks until every given driver has finished and returns the
-// first non-nil error among them (all are joined regardless).
+// first non-nil error among them (all are joined regardless). Joined
+// drivers return to the spawn pool: their goroutines and channels are
+// reused by later spawns in the same Run.
 func (p *Proc) WaitAll(children ...*Proc) error {
 	var first error
 	for _, c := range children {
@@ -136,6 +227,7 @@ func (p *Proc) WaitAll(children ...*Proc) error {
 		if err != nil && first == nil {
 			first = err
 		}
+		p.nw.releaseProc(c)
 	}
 	return first
 }
@@ -164,6 +256,17 @@ func (nw *Network) Run() error {
 	nw.running = true
 	defer func() { nw.running = false }()
 
+	// The sharded executor engages only for multi-shard synchronous
+	// networks; its worker goroutines live exactly as long as this Run.
+	var se *shardEngine
+	if nw.shards > 1 {
+		se = nw.ensureShardEngine()
+		defer nw.closeShardEngine(se)
+	}
+	// Drain the driver pool on every exit path: parked goroutines must not
+	// outlive the Run that created them.
+	defer nw.drainProcPool()
+
 	var deadlockErr error
 	for {
 		// 1. Run every runnable driver to its next block/finish. Drain by
@@ -181,6 +284,10 @@ func (nw *Network) Run() error {
 		// the scheduler and recycled; delivered messages go back to the
 		// free list, so steady-state delivery allocates nothing.
 		if batch := nw.sched.nextBatch(); batch != nil {
+			if se != nil {
+				nw.deliverSharded(se, batch)
+				continue
+			}
 			for i, m := range batch {
 				h := nw.handlers[m.Kind] // non-nil: Send checks registration
 				node := nw.nodes[m.To]
@@ -219,18 +326,11 @@ func (nw *Network) Run() error {
 			continue
 		}
 		// 4. Done or deadlocked?
-		allDone := true
-		for _, p := range nw.procs {
-			if !p.finished {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
+		if nw.live == 0 {
 			if deadlockErr != nil {
 				return deadlockErr
 			}
-			for _, p := range nw.procs {
+			for _, p := range nw.allProcs {
 				if p.err != nil {
 					return p.err
 				}
@@ -245,11 +345,11 @@ func (nw *Network) Run() error {
 			return fmt.Errorf("%w: drivers refused to unwind", ErrDeadlock)
 		}
 		var blocked []string
-		for _, p := range nw.procs {
+		for _, p := range nw.allProcs {
 			if p.finished || p.awaiting == 0 {
 				continue
 			}
-			blocked = append(blocked, fmt.Sprintf("%s (awaiting session %d)", p.name, p.awaiting))
+			blocked = append(blocked, fmt.Sprintf("%s (awaiting session %d)", p.Name(), p.awaiting))
 			nw.CompleteSession(p.awaiting, nil, ErrDeadlock)
 		}
 		if deadlockErr == nil {

@@ -38,13 +38,20 @@ type candidate struct {
 	valid     bool
 }
 
-// nodeState is one node's GHS automaton state. rejected persists across
-// phases (the non-impromptu cache); the rest is per-phase. probes and
-// probeComps are parallel reusable buffers (candidate neighbour, its
-// composite weight) sorted together, so re-entering a phase allocates
-// nothing once warm.
+// nodeState is one node's GHS automaton state. The rejection cache
+// persists across phases (the non-impromptu O(deg) state the paper
+// contrasts with); the rest is per-phase. Rejections are a bitmask over
+// the node's sorted edge slice (index = position in NodeState.Edges):
+// rejLow covers the first 64 incident edges inline, rejHigh spills lazily
+// for high-degree nodes — no per-node map, and re-entering a phase
+// allocates nothing once warm.
+//
+// Invariant: the topology must not mutate during a build — edge positions
+// key the cache, so an insert/delete would shift them. GHS only runs as a
+// build on a static topology (repairs never use it).
 type nodeState struct {
-	rejected map[congest.NodeID]bool
+	rejLow  uint64
+	rejHigh []uint64
 
 	phase      int
 	fragID     congest.NodeID
@@ -56,10 +63,35 @@ type nodeState struct {
 	probeIdx   int       // position in the sorted candidate list
 	probing    bool      // a test is in flight
 	reported   bool      // report went up (or completed, at the root)
-	probes     []congest.NodeID
+	probes     []int32   // candidate edge indices into NodeState.Edges
 	probeComps []uint64
 	deferred   []deferredTest    // tests from the next phase, answered on entry
 	session    congest.SessionID // root only: fragment session to complete
+}
+
+// reject caches that the i-th incident edge is internal forever.
+func (st *nodeState) reject(i int) {
+	if i < 64 {
+		st.rejLow |= 1 << uint(i)
+		return
+	}
+	w := (i - 64) >> 6
+	for len(st.rejHigh) <= w {
+		st.rejHigh = append(st.rejHigh, 0)
+	}
+	st.rejHigh[w] |= 1 << uint((i-64)&63)
+}
+
+// isRejected reports whether the i-th incident edge is cached as internal.
+func (st *nodeState) isRejected(i int) bool {
+	if i < 64 {
+		return st.rejLow&(1<<uint(i)) != 0
+	}
+	w := (i - 64) >> 6
+	if w >= len(st.rejHigh) {
+		return false
+	}
+	return st.rejHigh[w]&(1<<uint((i-64)&63)) != 0
 }
 
 // sort.Interface over the parallel probe buffers, cheapest first; *nodeState
@@ -74,16 +106,13 @@ func (st *nodeState) Swap(i, j int) {
 // Protocol is the per-network GHS instance.
 type Protocol struct {
 	nw    *congest.Network
-	state []*nodeState
+	state []nodeState
 }
 
 // Attach registers the GHS handlers. Call once per network, after
 // tree.Attach (Build reuses tree's broadcast-and-echo for Add-Edge).
 func Attach(nw *congest.Network) *Protocol {
-	g := &Protocol{nw: nw, state: make([]*nodeState, nw.N()+1)}
-	for v := 1; v <= nw.N(); v++ {
-		g.state[v] = &nodeState{rejected: make(map[congest.NodeID]bool)}
-	}
+	g := &Protocol{nw: nw, state: make([]nodeState, nw.N()+1)}
 	nw.RegisterHandler(KindFrag, g.onFrag)
 	nw.RegisterHandler(KindTest, g.onTest)
 	nw.RegisterHandler(KindStatus, g.onStatus)
@@ -105,6 +134,7 @@ func Build(nw *congest.Network, pr *tree.Protocol, g *Protocol) (BuildResult, er
 	var result BuildResult
 	maxPhases := int(math.Ceil(math.Log2(float64(nw.N())))) + 2
 	nw.Spawn("ghs", func(p *congest.Proc) error {
+		var scratch congest.FanoutScratch[struct{}]
 		for phase := 1; ; phase++ {
 			if phase > maxPhases {
 				return fmt.Errorf("ghs: exceeded %d phases — not converging", maxPhases)
@@ -118,10 +148,10 @@ func Build(nw *congest.Network, pr *tree.Protocol, g *Protocol) (BuildResult, er
 			}
 			result.Phases = phase
 			merges := 0
-			procs := make([]*congest.Proc, 0, len(elect.Leaders))
+			procs := scratch.Procs()
 			for _, leader := range elect.Leaders {
 				leader := leader
-				procs = append(procs, p.Go(fmt.Sprintf("ghs-p%d-f%d", phase, leader), func(fp *congest.Proc) error {
+				procs = append(procs, p.GoTagged("ghs", uint64(phase), uint64(leader), func(fp *congest.Proc) error {
 					cand, err := g.runFragment(fp, leader, phase)
 					if err != nil {
 						return err
@@ -134,6 +164,7 @@ func Build(nw *congest.Network, pr *tree.Protocol, g *Protocol) (BuildResult, er
 					return err
 				}))
 			}
+			scratch.KeepProcs(procs)
 			if err := p.WaitAll(procs...); err != nil {
 				return err
 			}
@@ -161,9 +192,9 @@ func Build(nw *congest.Network, pr *tree.Protocol, g *Protocol) (BuildResult, er
 func (g *Protocol) runFragment(p *congest.Proc, leader congest.NodeID, phase int) (candidate, error) {
 	sid := g.nw.NewSession(nil)
 	node := g.nw.Node(leader)
-	st := g.state[leader]
+	st := &g.state[leader]
 	st.session = sid
-	g.enterPhase(node, st, phase, leader, 0)
+	g.enterPhase(g.nw, node, st, phase, leader, 0)
 	v, err := p.Await(sid)
 	if err != nil {
 		return candidate{}, err
@@ -173,8 +204,9 @@ func (g *Protocol) runFragment(p *congest.Proc, leader congest.NodeID, phase int
 
 // enterPhase initialises a node's per-phase state, forwards the fragment
 // broadcast to its tree children, answers deferred probes and starts its
-// own probing.
-func (g *Protocol) enterPhase(node *congest.NodeState, st *nodeState, phase int, fragID, parent congest.NodeID) {
+// own probing. nw is the network view of the calling context (the shard
+// view inside handlers), so every send lands in the right lane.
+func (g *Protocol) enterPhase(nw *congest.Network, node *congest.NodeState, st *nodeState, phase int, fragID, parent congest.NodeID) {
 	st.phase = phase
 	st.fragID = fragID
 	st.parent = parent
@@ -189,7 +221,7 @@ func (g *Protocol) enterPhase(node *congest.NodeState, st *nodeState, phase int,
 		he := &node.Edges[i]
 		if he.Marked && he.Neighbor != parent {
 			st.expected++
-			g.nw.SendU(node.ID, he.Neighbor, KindFrag, 0, 64, packPhaseFrag(phase, fragID))
+			nw.SendU(node.ID, he.Neighbor, KindFrag, 0, 64, packPhaseFrag(phase, fragID))
 		}
 	}
 	// candidate edges: unmarked, not rejected, cheapest first (composites
@@ -199,8 +231,8 @@ func (g *Protocol) enterPhase(node *congest.NodeState, st *nodeState, phase int,
 	st.probeComps = st.probeComps[:0]
 	for i := range node.Edges {
 		he := &node.Edges[i]
-		if !he.Marked && !st.rejected[he.Neighbor] {
-			st.probes = append(st.probes, he.Neighbor)
+		if !he.Marked && !st.isRejected(i) {
+			st.probes = append(st.probes, int32(i))
 			st.probeComps = append(st.probeComps, he.Composite)
 		}
 	}
@@ -209,9 +241,9 @@ func (g *Protocol) enterPhase(node *congest.NodeState, st *nodeState, phase int,
 	deferred := st.deferred
 	st.deferred = nil
 	for _, d := range deferred {
-		g.answerTest(g.nw, node, d.from, d.tm)
+		g.answerTest(nw, node, d.from, d.tm)
 	}
-	g.advanceProbe(node, st)
+	g.advanceProbe(nw, node, st)
 }
 
 // deferredTest is a probe that arrived ahead of its phase; the payload is
@@ -241,28 +273,28 @@ func unpackPhaseFrag(u uint64) (phase int, fragID congest.NodeID) {
 // advanceProbe sends the next test, or finishes the node's local part.
 // A node always completes its own probing: a child's report must not
 // suppress a possibly lighter local candidate.
-func (g *Protocol) advanceProbe(node *congest.NodeState, st *nodeState) {
+func (g *Protocol) advanceProbe(nw *congest.Network, node *congest.NodeState, st *nodeState) {
 	if st.probing || st.ownDone {
-		g.maybeReport(node, st)
+		g.maybeReport(nw, node, st)
 		return
 	}
 	for st.probeIdx < len(st.probes) {
-		nb := st.probes[st.probeIdx]
-		if st.rejected[nb] { // rejected by the other side mid-phase
+		ei := int(st.probes[st.probeIdx])
+		if st.isRejected(ei) { // rejected by the other side mid-phase
 			st.probeIdx++
 			continue
 		}
 		st.probing = true
-		g.nw.SendU(node.ID, nb, KindTest, 0, 64, packPhaseFrag(st.phase, st.fragID))
+		nw.SendU(node.ID, node.Edges[ei].Neighbor, KindTest, 0, 64, packPhaseFrag(st.phase, st.fragID))
 		return
 	}
 	st.ownDone = true
-	g.maybeReport(node, st)
+	g.maybeReport(nw, node, st)
 }
 
 // maybeReport sends the report up once probing is done and all children
 // reported.
-func (g *Protocol) maybeReport(node *congest.NodeState, st *nodeState) {
+func (g *Protocol) maybeReport(nw *congest.Network, node *congest.NodeState, st *nodeState) {
 	if st.probing || !st.ownDone || st.expected > 0 || st.reported {
 		return
 	}
@@ -272,15 +304,15 @@ func (g *Protocol) maybeReport(node *congest.NodeState, st *nodeState) {
 		best = st.childBest
 	}
 	if st.parent == 0 {
-		g.nw.CompleteSession(st.session, best, nil)
+		nw.CompleteSession(st.session, best, nil)
 		return
 	}
-	g.nw.Send(node.ID, st.parent, KindReport, 0, 129, best)
+	nw.Send(node.ID, st.parent, KindReport, 0, 129, best)
 }
 
 func (g *Protocol) onFrag(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
 	phase, fragID := unpackPhaseFrag(msg.U)
-	g.enterPhase(node, g.state[node.ID], phase, fragID, msg.From)
+	g.enterPhase(nw, node, &g.state[node.ID], phase, fragID, msg.From)
 }
 
 func (g *Protocol) onTest(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
@@ -289,7 +321,7 @@ func (g *Protocol) onTest(nw *congest.Network, node *congest.NodeState, msg *con
 }
 
 func (g *Protocol) answerTest(nw *congest.Network, node *congest.NodeState, from congest.NodeID, tm testMsg) {
-	st := g.state[node.ID]
+	st := &g.state[node.ID]
 	if tm.Phase > st.phase {
 		st.deferred = append(st.deferred, deferredTest{from: from, tm: tm})
 		return
@@ -297,7 +329,7 @@ func (g *Protocol) answerTest(nw *congest.Network, node *congest.NodeState, from
 	accept := st.fragID != tm.FragID
 	if !accept {
 		// internal forever: cache the rejection on this side too.
-		st.rejected[from] = true
+		st.reject(node.EdgeIndex(from))
 	}
 	var word uint64
 	if accept {
@@ -307,7 +339,7 @@ func (g *Protocol) answerTest(nw *congest.Network, node *congest.NodeState, from
 }
 
 func (g *Protocol) onStatus(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
-	st := g.state[node.ID]
+	st := &g.state[node.ID]
 	st.probing = false
 	if msg.U != 0 {
 		// probing in increasing weight order: the first accept is the
@@ -316,18 +348,18 @@ func (g *Protocol) onStatus(nw *congest.Network, node *congest.NodeState, msg *c
 		st.ownBest = candidate{composite: he.Composite, edgeNum: he.EdgeNum, valid: true}
 		st.ownDone = true
 	} else {
-		st.rejected[msg.From] = true
+		st.reject(node.EdgeIndex(msg.From))
 		st.probeIdx++
 	}
-	g.advanceProbe(node, st)
+	g.advanceProbe(nw, node, st)
 }
 
 func (g *Protocol) onReport(nw *congest.Network, node *congest.NodeState, msg *congest.Message) {
-	st := g.state[node.ID]
+	st := &g.state[node.ID]
 	c := msg.Payload.(candidate)
 	if c.valid && (!st.childBest.valid || c.composite < st.childBest.composite) {
 		st.childBest = c
 	}
 	st.expected--
-	g.maybeReport(node, st)
+	g.maybeReport(nw, node, st)
 }

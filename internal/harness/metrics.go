@@ -10,6 +10,12 @@ import (
 type TrialMetrics struct {
 	Trial int    `json:"trial"`
 	Seed  uint64 `json:"seed"`
+	// Shards is the shard count the trial executed on. Deliberately
+	// excluded from serialization: the sharded engine is observably
+	// identical to the single-threaded one, and the byte-identity of
+	// seeded reports across shard counts is a contract the cross-check
+	// tests enforce — a serialized knob would break it trivially.
+	Shards int `json:"-"`
 
 	// Messages/Bits are the congest counters over the measured section
 	// (the whole run for builds; the fault script for repairs — forest

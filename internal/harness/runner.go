@@ -17,6 +17,14 @@ type RunConfig struct {
 	Seed uint64
 	// Workers bounds the worker pool (default GOMAXPROCS).
 	Workers int
+	// Shards is the per-trial shard count handed to the simulator
+	// (default 1 = single-threaded trials). Sharding is a wall-clock knob
+	// only: the sharded engine is observably identical to the
+	// single-threaded one, so reports stay byte-identical at any value.
+	// Intra-trial parallelism composes with the trial-level pool — total
+	// concurrency is roughly Workers × Shards, so large sweeps should
+	// lower Workers when raising Shards.
+	Shards int
 	// OnTrialDone, if set, is called after every finished trial (from
 	// worker goroutines; must be safe for concurrent use). For progress
 	// reporting.
@@ -32,6 +40,9 @@ func (c RunConfig) Normalized() RunConfig {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -73,7 +84,7 @@ func RunAll(specs []Spec, cfg RunConfig) []Result {
 			for j := range jobs {
 				spec := specs[j.si]
 				seed := trialSeed(cfg.Seed, spec.Name, j.ti)
-				m, kinds, err := RunTrial(spec, seed)
+				m, kinds, err := RunTrialShards(spec, seed, cfg.Shards)
 				m.Trial = j.ti
 				m.Seed = seed
 				if err != nil {

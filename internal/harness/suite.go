@@ -131,6 +131,20 @@ func Builtin() *Registry {
 		Sched: SchedSync,
 		Algo:  AlgoGHS,
 	})
+	reg.MustRegister(Spec{
+		Name:        "ghs/expander-100k/sync",
+		Description: "GHS baseline on a degree-4 expander at 100k nodes: the bitmask rejection cache at scale",
+		Family:      FamilyExpander, N: 100_000,
+		Sched: SchedSync,
+		Algo:  AlgoGHS,
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-build/gnm-1m/sync",
+		Description: "Build MST (adaptive) on connected G(n,3n) at 1M nodes: the sharded multi-core engine's headline scenario (run with --shards = cores)",
+		Family:      FamilyGNM, N: 1_000_000,
+		Sched: SchedSync,
+		Algo:  AlgoMSTBuildAdaptive,
+	})
 
 	// --- Baseline comparators ---
 	reg.MustRegister(Spec{

@@ -58,16 +58,28 @@ func buildGraph(s Spec, r *rng.RNG) *graph.Graph {
 	}
 }
 
-// RunTrial executes one seeded trial of the scenario and returns its
-// metrics plus the per-kind traffic breakdown. Specs must already be
+// RunTrial executes one single-threaded seeded trial of the scenario; see
+// RunTrialShards.
+func RunTrial(spec Spec, seed uint64) (TrialMetrics, map[string]congest.KindCount, error) {
+	return RunTrialShards(spec, seed, 1)
+}
+
+// RunTrialShards executes one seeded trial of the scenario on the given
+// shard count and returns its metrics plus the per-kind traffic
+// breakdown. The shard count is a wall-clock knob only — the sharded
+// engine's determinism contract guarantees identical metrics at any value
+// — so the seed alone still identifies the trial. Specs must already be
 // validated (registry scenarios are). Protocol panics are converted to
 // errors so one bad trial cannot take down a bench sweep.
-func RunTrial(spec Spec, seed uint64) (m TrialMetrics, byKind map[string]congest.KindCount, err error) {
+func RunTrialShards(spec Spec, seed uint64, shards int) (m TrialMetrics, byKind map[string]congest.KindCount, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("harness: trial panicked: %v", r)
 		}
 	}()
+	if shards < 1 {
+		shards = 1
+	}
 	s := spec.withDefaults()
 	r := rng.New(seed)
 	g := buildGraph(s, r.Split())
@@ -76,11 +88,13 @@ func RunTrial(spec Spec, seed uint64) (m TrialMetrics, byKind map[string]congest
 	opts = append(opts, congest.WithSeed(seed))
 	if s.Sched == SchedAsync {
 		opts = append(opts, congest.WithAsync(s.MaxDelay))
+	} else if shards > 1 {
+		opts = append(opts, congest.WithShards(shards))
 	}
 	nw := congest.NewNetwork(g, opts...)
 	pr := tree.Attach(nw)
 
-	m = TrialMetrics{Seed: seed}
+	m = TrialMetrics{Seed: seed, Shards: shards}
 	switch s.Algo {
 	case AlgoMSTBuildAdaptive, AlgoMSTBuildFixed:
 		cfg := mst.DefaultBuild(seed)
@@ -126,9 +140,9 @@ func RunTrial(spec Spec, seed uint64) (m TrialMetrics, byKind map[string]congest
 		m.ForestEdges = len(res.Forest)
 		m.Valid = spanning.IsSpanningForest(g, forestIndices(g, res.Forest)) == nil
 	case AlgoMSTRepair:
-		return runRepairStorm(s, nw, pr, g, r, seed, true)
+		return runRepairStorm(s, nw, pr, g, r, seed, shards, true)
 	case AlgoSTRepair:
-		return runRepairStorm(s, nw, pr, g, r, seed, false)
+		return runRepairStorm(s, nw, pr, g, r, seed, shards, false)
 	default:
 		return m, nil, fmt.Errorf("harness: unknown algorithm %q", s.Algo)
 	}
@@ -140,8 +154,8 @@ func RunTrial(spec Spec, seed uint64) (m TrialMetrics, byKind map[string]congest
 // uncharged, like the paper's "a spanning forest is maintained"
 // precondition), then applies the fault script in seeded random order and
 // meters only the repair traffic.
-func runRepairStorm(s Spec, nw *congest.Network, pr *tree.Protocol, g *graph.Graph, r *rng.RNG, seed uint64, weighted bool) (TrialMetrics, map[string]congest.KindCount, error) {
-	m := TrialMetrics{Seed: seed, Actions: make(map[string]int)}
+func runRepairStorm(s Spec, nw *congest.Network, pr *tree.Protocol, g *graph.Graph, r *rng.RNG, seed uint64, shards int, weighted bool) (TrialMetrics, map[string]congest.KindCount, error) {
+	m := TrialMetrics{Seed: seed, Shards: shards, Actions: make(map[string]int)}
 
 	var refForest []int
 	if weighted {

@@ -164,7 +164,7 @@ func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg Build
 	procs := scratch.Procs()
 	for i, leader := range elect.Leaders {
 		i, leader := i, leader
-		procs = append(procs, p.Go(fmt.Sprintf("findmin-p%d-f%d", phase, leader), func(fp *congest.Proc) error {
+		procs = append(procs, p.GoTagged("findmin", uint64(phase), uint64(leader), func(fp *congest.Proc) error {
 			r := fragmentRand(cfg.Seed, phase, leader)
 			res, err := findmin.Run(fp, pr, leader, r, cfg.FindMin)
 			if err != nil {

@@ -1,0 +1,185 @@
+// Package shard is the deterministic building kit for multi-core
+// execution of a single simulation: a contiguous node partition, a pool of
+// persistent round workers, and an ordered per-shard outbox whose merge
+// reproduces the exact global order a single-threaded run would have
+// produced.
+//
+// The package is engine-agnostic (it knows nothing about messages or
+// networks) so the simulator core can build on it without an import
+// cycle. The determinism contract all three pieces share: every output of
+// a sharded round is a pure function of the round's inputs and the shard
+// count never leaks into it — callers key work by a parent index (the
+// position of the triggering event in the round's global input order) and
+// the merge replays side effects in (parent, emission order), which is
+// byte-for-byte the single-threaded order.
+package shard
+
+import "sync"
+
+// Partition maps nodes 1..n onto s contiguous shards of near-equal size.
+// Contiguity keeps each worker's node state dense in memory; the mapping
+// is pure arithmetic, so there is no table to build or keep coherent.
+type Partition struct {
+	n, s int
+}
+
+// NewPartition builds a partition of nodes 1..n into s shards. The shard
+// count is clamped to [1, min(n, 1024)] — more shards than nodes (or than
+// any plausible machine) would only manufacture empty workers.
+func NewPartition(n, s int) Partition {
+	if n < 1 {
+		n = 1
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	if s > 1024 {
+		s = 1024
+	}
+	return Partition{n: n, s: s}
+}
+
+// Shards returns the shard count.
+func (p Partition) Shards() int { return p.s }
+
+// N returns the node count.
+func (p Partition) N() int { return p.n }
+
+// Of returns the shard owning node v (1-based). Nodes are assigned in
+// contiguous runs: shard i owns the v with i = (v-1)*s/n.
+func (p Partition) Of(v int) int {
+	return int(uint64(v-1) * uint64(p.s) / uint64(p.n))
+}
+
+// Range returns the node interval [lo, hi] owned by shard i — the exact
+// inverse of Of: the first node of shard i is the smallest v with
+// (v-1)*s >= i*n. Empty shards cannot occur (s <= n).
+func (p Partition) Range(i int) (lo, hi int) {
+	n, s := uint64(p.n), uint64(p.s)
+	lo = int((uint64(i)*n+s-1)/s) + 1
+	hi = int((uint64(i+1)*n + s - 1) / s)
+	return lo, hi
+}
+
+// Workers is a pool of persistent goroutines that execute one closure per
+// shard per round. Worker goroutines park between rounds, so a round
+// costs two channel operations per extra worker and no goroutine churn.
+// Shard 0 always runs inline on the caller's goroutine: with one shard
+// the pool degenerates to a plain function call, and with more it saves a
+// wakeup on the critical path.
+type Workers struct {
+	n    int
+	work []chan func(int)
+	wg   sync.WaitGroup
+}
+
+// NewWorkers starts a pool driving n shards (n-1 background goroutines).
+func NewWorkers(n int) *Workers {
+	if n < 1 {
+		n = 1
+	}
+	w := &Workers{n: n, work: make([]chan func(int), n-1)}
+	for i := range w.work {
+		ch := make(chan func(int))
+		w.work[i] = ch
+		go func(shard int) {
+			for fn := range ch {
+				fn(shard)
+				w.wg.Done()
+			}
+		}(i + 1)
+	}
+	return w
+}
+
+// Round runs fn(shard) for every shard concurrently and returns when all
+// have finished. fn must contain its own panic recovery: a panic escaping
+// a background worker would kill the process with no chance to pick the
+// deterministic one.
+func (w *Workers) Round(fn func(shard int)) {
+	w.wg.Add(len(w.work))
+	for _, ch := range w.work {
+		ch <- fn
+	}
+	fn(0)
+	w.wg.Wait()
+}
+
+// Close shuts the background workers down. The pool must be idle.
+func (w *Workers) Close() {
+	for _, ch := range w.work {
+		close(ch)
+	}
+	w.work = nil
+}
+
+// Outbox collects side effects emitted during a sharded round — one
+// ordered stream per shard, each entry keyed by the parent index of the
+// event whose handler emitted it — and replays them in the exact order a
+// single-threaded round would have: ascending parent index, then emission
+// order within the parent. Each shard appends only to its own stream, so
+// workers never contend; the merge walks parents in global order and
+// drains the owning shard's run for each.
+//
+// The invariant making the merge a linear walk instead of a sort: within
+// one shard, parents are processed in ascending global order, so each
+// stream is already sorted by parent.
+type Outbox[T any] struct {
+	streams [][]entry[T]
+	cursor  []int
+}
+
+type entry[T any] struct {
+	parent int32
+	v      T
+}
+
+// Reset prepares the outbox for a round over the given shard count,
+// retaining stream capacity across rounds.
+func (o *Outbox[T]) Reset(shards int) {
+	for len(o.streams) < shards {
+		o.streams = append(o.streams, nil)
+		o.cursor = append(o.cursor, 0)
+	}
+	o.streams = o.streams[:shards]
+	o.cursor = o.cursor[:shards]
+	for i := range o.streams {
+		o.streams[i] = o.streams[i][:0]
+		o.cursor[i] = 0
+	}
+}
+
+// Push appends a side effect emitted while shard was processing the event
+// at the given parent index. Only the owning worker may push to its shard.
+func (o *Outbox[T]) Push(shard int, parent int32, v T) {
+	o.streams[shard] = append(o.streams[shard], entry[T]{parent: parent, v: v})
+}
+
+// Merge replays every pushed effect in deterministic global order:
+// ascending parent index 0..numParents-1 (owner(parent) names the shard
+// that processed that parent), emission order within each parent. Entries
+// are zeroed as they are consumed so the retained backing arrays do not
+// pin the payloads. Merge panics if a stream holds an entry the walk
+// cannot reach — that is always an owner/push bookkeeping bug.
+func (o *Outbox[T]) Merge(numParents int, owner func(parent int32) int, apply func(T)) {
+	var zero entry[T]
+	for parent := int32(0); int(parent) < numParents; parent++ {
+		s := owner(parent)
+		stream := o.streams[s]
+		for o.cursor[s] < len(stream) && stream[o.cursor[s]].parent == parent {
+			e := &stream[o.cursor[s]]
+			o.cursor[s]++
+			v := e.v
+			*e = zero
+			apply(v)
+		}
+	}
+	for s := range o.streams {
+		if o.cursor[s] != len(o.streams[s]) {
+			panic("shard: outbox merge left entries behind — owner() disagrees with Push")
+		}
+	}
+}

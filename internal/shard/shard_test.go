@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	for _, tc := range []struct{ n, s int }{
+		{1, 1}, {2, 4}, {10, 3}, {100, 7}, {1000, 16}, {5, 5},
+	} {
+		p := NewPartition(tc.n, tc.s)
+		if p.Shards() > tc.n {
+			t.Errorf("n=%d s=%d: %d shards exceed nodes", tc.n, tc.s, p.Shards())
+		}
+		// Every node maps into range, mapping is monotone, and Range agrees
+		// with Of.
+		prev := 0
+		counts := make([]int, p.Shards())
+		for v := 1; v <= tc.n; v++ {
+			s := p.Of(v)
+			if s < 0 || s >= p.Shards() {
+				t.Fatalf("n=%d: Of(%d) = %d out of range", tc.n, v, s)
+			}
+			if s < prev {
+				t.Fatalf("n=%d: Of not monotone at %d", tc.n, v)
+			}
+			prev = s
+			counts[s]++
+		}
+		for i := 0; i < p.Shards(); i++ {
+			lo, hi := p.Range(i)
+			if hi-lo+1 != counts[i] {
+				t.Errorf("n=%d s=%d: shard %d Range [%d,%d] disagrees with Of count %d",
+					tc.n, tc.s, i, lo, hi, counts[i])
+			}
+			for v := lo; v <= hi; v++ {
+				if p.Of(v) != i {
+					t.Errorf("n=%d s=%d: node %d in Range(%d) but Of says %d", tc.n, tc.s, v, i, p.Of(v))
+				}
+			}
+		}
+		// Balance: sizes differ by at most one.
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("n=%d s=%d: imbalanced shards %v", tc.n, tc.s, counts)
+		}
+	}
+}
+
+func TestWorkersRunEveryShard(t *testing.T) {
+	for _, n := range []int{1, 2, 8} {
+		w := NewWorkers(n)
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, n)
+		for round := 0; round < 3; round++ {
+			w.Round(func(s int) {
+				hits.Add(1)
+				seen[s].Store(true)
+			})
+		}
+		w.Close()
+		if got := hits.Load(); got != int64(3*n) {
+			t.Errorf("n=%d: %d executions, want %d", n, got, 3*n)
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Errorf("n=%d: shard %d never ran", n, i)
+			}
+		}
+	}
+}
+
+func TestOutboxMergeReplaysSingleThreadedOrder(t *testing.T) {
+	// 3 shards; parents 0..8 assigned round-robin; each parent i emits i%3
+	// effects. The merge must visit effects in (parent, emission) order.
+	const shards, parents = 3, 9
+	owner := func(p int32) int { return int(p) % shards }
+	var o Outbox[[2]int]
+	o.Reset(shards)
+	for p := 0; p < parents; p++ {
+		for e := 0; e < p%3+1; e++ {
+			o.Push(owner(int32(p)), int32(p), [2]int{p, e})
+		}
+	}
+	var got [][2]int
+	o.Merge(parents, owner, func(v [2]int) { got = append(got, v) })
+	var want [][2]int
+	for p := 0; p < parents; p++ {
+		for e := 0; e < p%3+1; e++ {
+			want = append(want, [2]int{p, e})
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merge replayed %d effects, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("effect %d: got %v want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	// Reuse after Reset keeps working (capacity retained, cursors cleared).
+	o.Reset(shards)
+	o.Push(1, 0, [2]int{0, 0})
+	n := 0
+	o.Merge(1, func(int32) int { return 1 }, func([2]int) { n++ })
+	if n != 1 {
+		t.Fatalf("after reset: replayed %d effects, want 1", n)
+	}
+}
+
+func TestOutboxMergePanicsOnOwnerMismatch(t *testing.T) {
+	var o Outbox[int]
+	o.Reset(2)
+	o.Push(1, 0, 42) // pushed to shard 1...
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merge with wrong owner did not panic")
+		}
+	}()
+	// ...but owner claims parent 0 lives on shard 0: entry is unreachable.
+	o.Merge(1, func(int32) int { return 0 }, func(int) {})
+}

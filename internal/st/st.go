@@ -187,7 +187,7 @@ func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig
 	procs := scratch.Procs()
 	for i, leader := range elect.Leaders {
 		i, leader := i, leader
-		procs = append(procs, p.Go(fmt.Sprintf("findany-p%d-f%d", phase, leader), func(fp *congest.Proc) error {
+		procs = append(procs, p.GoTagged("findany", uint64(phase), uint64(leader), func(fp *congest.Proc) error {
 			r := fragmentRand(cfg.Seed, phase, leader)
 			res, err := findany.Run(fp, pr, leader, r, cfg.FindAny)
 			if err != nil {

@@ -108,7 +108,7 @@ func (pr *Protocol) StartElectAll() congest.SessionID {
 		st := &states[v]
 		st.reset()
 		node.SetSessionState(sid, st)
-		pr.electMaybeAct(node, sid, st)
+		pr.electMaybeAct(pr.nw, node, sid, st)
 	}
 	return sid
 }
@@ -129,7 +129,7 @@ func (pr *Protocol) ElectAll(p *congest.Proc) (ElectResult, error) {
 //     earlier token crossed with the last sender's, the higher ID of the
 //     two adjacent medians wins;
 //   - heard from all but one and not yet sent: send the token that way.
-func (pr *Protocol) electMaybeAct(node *congest.NodeState, sid congest.SessionID, st *electState) {
+func (pr *Protocol) electMaybeAct(nw *congest.Network, node *congest.NodeState, sid congest.SessionID, st *electState) {
 	if st.decided {
 		return
 	}
@@ -166,7 +166,7 @@ func (pr *Protocol) electMaybeAct(node *congest.NodeState, sid congest.SessionID
 	case 1:
 		if st.sentTo == 0 {
 			st.sentTo = firstPending
-			pr.nw.Send(node.ID, firstPending, KindToken, sid, 8, nil)
+			nw.Send(node.ID, firstPending, KindToken, sid, 8, nil)
 		}
 	}
 }
@@ -182,7 +182,7 @@ func (pr *Protocol) onToken(nw *congest.Network, node *congest.NodeState, msg *c
 		panic(fmt.Sprintf("tree: node %d got election token over vanished edge from %d — topology mutated mid-wave", node.ID, msg.From))
 	}
 	st.markReceived(i)
-	pr.electMaybeAct(node, msg.Session, st)
+	pr.electMaybeAct(nw, node, msg.Session, st)
 }
 
 // collectElection is the quiescence callback: gather leaders and stuck
