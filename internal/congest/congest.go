@@ -1,35 +1,3 @@
-// Package congest is the communications substrate: a message-level
-// simulator of the CONGEST model the paper runs in.
-//
-// A Network holds one NodeState per processor. Processors exchange
-// Messages only along existing links; every message is counted (count and
-// bits) and must fit the O(log(n+u)) budget — with the model word fixed at
-// w = 64 bits, a message is at most a constant number of words.
-//
-// Protocol logic comes in two forms:
-//
-//   - handlers: per-message automaton steps registered by Kind. A handler
-//     may read/write only the local state of the receiving node and send
-//     further messages. This is where broadcast-and-echo, leader election,
-//     probes etc. live (package tree and friends).
-//
-//   - drivers (Proc): the sequential program an initiating node runs, e.g.
-//     FindMin's narrowing loop. Drivers are goroutines scheduled
-//     cooperatively: at any instant either the engine or exactly one
-//     driver executes, so runs are deterministic for a fixed seed and free
-//     of data races by construction.
-//
-// Two schedulers implement the paper's two timing models: the synchronous
-// scheduler delivers in lockstep rounds (messages sent in round r arrive
-// in round r+1); the asynchronous scheduler delivers one message at a time
-// with seeded pseudo-random delays and per-link FIFO order.
-//
-// The hot path is allocation-free by design, so 100k-node scenarios run at
-// memory speed: message kinds are interned to small integer KindIDs
-// (dispatch via slice, counters via array), Message structs are recycled
-// through a free list, each node's neighbour index is the sorted Edges
-// slice itself (binary search, no side map), and the async scheduler is a
-// bucketed calendar queue instead of a global binary heap.
 package congest
 
 import (
@@ -291,6 +259,10 @@ type session struct {
 	result    any
 	err       error
 	waiter    *Proc
+	// twaiter is the continuation-task counterpart of waiter: at most one
+	// of the two is set. A parked task is resumed by the engine's run
+	// queue exactly where a parked goroutine driver would have been.
+	twaiter *Task
 	// onQuiescence, if set, lets the session complete when the network
 	// goes quiescent (no messages in flight, no runnable drivers) — this
 	// is how "wait until maxTime" timeouts are modelled without wall
@@ -353,25 +325,83 @@ type Network struct {
 	// procFree recycles parked driver goroutines (with their channels)
 	// across spawns within one Run; allProcs lists every driver goroutine
 	// created since the pool was last drained, live counts the unfinished
-	// ones. See proc.go.
+	// drivers of both models. See proc.go.
 	procFree []*Proc
 	allProcs []*Proc
 	live     int
+
+	// taskFree recycles finished continuation tasks across spawns within
+	// one Run; allTasks lists every live-or-parked task for deadlock
+	// diagnostics. Tasks are plain heap objects — no goroutine, no
+	// channels — which is what keeps a million-fragment fan-out at tens of
+	// bytes per driver instead of a parked stack. See cont.go.
+	taskFree []*Task
+	allTasks []*Task
+
+	// Driver high-water marks (see DriverStats): peakProcs tracks driver
+	// goroutines ever created, peakTasks continuation tasks ever created,
+	// peakLive the maximum concurrently-unfinished drivers of both models.
+	// Monotone across Runs so a trial reports its true peak.
+	peakProcs int
+	peakTasks int
+	peakLive  int
 
 	running             bool
 	deadlockResolutions int
 }
 
+// wakeup is one runnable-driver entry on the engine's run queue: exactly
+// one of p (goroutine driver) or t (continuation task) is set. The queue
+// is drained strictly in append order, which is what makes driver
+// scheduling — and with it session serials and every derived random draw —
+// identical across shard counts and across the two driver models.
 type wakeup struct {
 	p *Proc
-	w wake
+	t *Task
+	w Wake
 }
 
-type wake struct {
+// Wake is the completion of an awaited session as delivered to a driver:
+// the result (boxed or unboxed) plus the session error. Goroutine drivers
+// consume it through Await/AwaitU; continuation drivers receive it as the
+// argument of their next Step.
+type Wake struct {
 	result  any
 	u       uint64 // unboxed result lane (CompleteSessionU)
 	unboxed bool
 	err     error
+}
+
+// Err returns the session error carried by the wake. Continuation drivers
+// must check it first in every resumed Step and finish with the error —
+// that is how deadlock unwinding (and any other forced completion)
+// propagates through state machines, mirroring how a goroutine driver's
+// Await returns the error up its call stack.
+func (w Wake) Err() error { return w.err }
+
+// Value returns the boxed result, with exactly Proc.Await's semantics: an
+// unboxed completion comes back as a boxed uint64.
+func (w Wake) Value() (any, error) {
+	if w.unboxed {
+		return w.u, w.err
+	}
+	return w.result, w.err
+}
+
+// U returns the unboxed single-word result, with exactly Proc.AwaitU's
+// semantics: a boxed completion whose result is not a uint64 is an error,
+// never a silent zero.
+func (w Wake) U() (uint64, error) {
+	if w.unboxed {
+		return w.u, w.err
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	if u, ok := w.result.(uint64); ok {
+		return u, nil
+	}
+	return 0, fmt.Errorf("congest: unboxed read of session completed with boxed %T, not uint64", w.result)
 }
 
 // Option configures a Network.
@@ -683,16 +713,16 @@ func (nw *Network) NewSession(onQuiescence func() (any, error)) SessionID {
 // any) becomes runnable. Completing an already-complete session panics —
 // that is always a protocol bug.
 func (nw *Network) CompleteSession(sid SessionID, result any, err error) {
-	nw.completeSession(sid, wake{result: result, err: err})
+	nw.completeSession(sid, Wake{result: result, err: err})
 }
 
 // CompleteSessionU finishes a session with an unboxed single-word result
 // (consumed via Proc.AwaitU) — the completion counterpart of SendU.
 func (nw *Network) CompleteSessionU(sid SessionID, u uint64, err error) {
-	nw.completeSession(sid, wake{u: u, unboxed: true, err: err})
+	nw.completeSession(sid, Wake{u: u, unboxed: true, err: err})
 }
 
-func (nw *Network) completeSession(sid SessionID, w wake) {
+func (nw *Network) completeSession(sid SessionID, w Wake) {
 	if l := nw.lane; l != nil {
 		// Sharded delivery in flight: defer the completion into the lane.
 		// It applies (slot mutation, waiter wakeup, double-complete checks
@@ -713,6 +743,14 @@ func (nw *Network) completeSession(sid SessionID, w wake) {
 		// wakeup; nothing will look the session up again, so the slot
 		// recycles immediately.
 		nw.runq = append(nw.runq, wakeup{p: s.waiter, w: w})
+		nw.freeSession(s)
+		return
+	}
+	if s.twaiter != nil {
+		// Same for a parked continuation task: it joins the run queue in
+		// completion order, so task scheduling interleaves with goroutine
+		// drivers exactly as the completion stream dictates.
+		nw.runq = append(nw.runq, wakeup{t: s.twaiter, w: w})
 		nw.freeSession(s)
 		return
 	}

@@ -1,0 +1,74 @@
+// Package congest is the communications substrate: a message-level
+// simulator of the CONGEST model the paper runs in.
+//
+// A Network holds one NodeState per processor. Processors exchange
+// Messages only along existing links; every message is counted (count and
+// bits) and must fit the O(log(n+u)) budget — with the model word fixed at
+// w = 64 bits, a message is at most a constant number of words.
+//
+// Protocol logic comes in three forms:
+//
+//   - handlers: per-message automaton steps registered by Kind. A handler
+//     may read/write only the local state of the receiving node and send
+//     further messages. This is where broadcast-and-echo, leader election,
+//     probes etc. live (package tree and friends).
+//
+//   - goroutine drivers (Proc): the sequential program an initiating node
+//     runs, e.g. FindMin's narrowing loop, written as an ordinary Go
+//     function that parks on Await. Drivers are goroutines scheduled
+//     cooperatively: at any instant either the engine or exactly one
+//     driver executes, so runs are deterministic for a fixed seed and free
+//     of data races by construction.
+//
+//   - continuation drivers (Task wrapping a StepDriver): the same driver
+//     programs as explicit state machines stepped by the engine with no
+//     goroutine, no channels and no parked stack. Wide fan-outs (one
+//     driver per fragment per Borůvka phase — a million at 1M nodes) use
+//     these; the Proc API remains for tests, controllers and the blocking
+//     repair paths. Both models share one run queue and one scheduling
+//     order, so they are observably identical.
+//
+// Two schedulers implement the paper's two timing models: the synchronous
+// scheduler delivers in lockstep rounds (messages sent in round r arrive
+// in round r+1); the asynchronous scheduler delivers one message at a time
+// with seeded pseudo-random delays and per-link FIFO order.
+//
+// # Invariants
+//
+// Zero-alloc hot paths. Steady-state message delivery allocates nothing:
+// message kinds are interned to small integer KindIDs (dispatch via
+// slice, counters via array), Message structs are recycled through free
+// lists, each node's neighbour index is the sorted Edges slice itself
+// (binary search, no side map), and the async scheduler is a bucketed
+// calendar queue instead of a global binary heap. Driver fan-out is
+// pooled in both models: Proc goroutines+channels and Task objects
+// recycle within one Run (WaitAll/WaitTasks release; Run teardown
+// drains), and tagged names format lazily. testing.AllocsPerRun gates in
+// this package pin all of it.
+//
+// Session slot recycling. A SessionID packs a recycled slot index with a
+// monotonically increasing creation serial; the slot indexes the engine's
+// flat session table and the serial is the slot's generation stamp, so a
+// stale ID can never alias a reused slot. A session's result is consumed
+// exactly once (completion hands it straight to a parked waiter, or a
+// later Await/Step pops it), which is what lets the slot recycle
+// immediately. Serials are what deterministic derived randomness hashes
+// (tree.Protocol.NodeRand): they never depend on recycling order, shard
+// count or driver model.
+//
+// Determinism. For a fixed seed, every run is byte-identical in all
+// observables — delivery order, driver scheduling, session serials,
+// derived random draws, every counter — regardless of shard count
+// (WithShards) and regardless of driver model. Spawns and completions
+// append to one run queue drained in order; the sharded round barrier
+// replays worker effects in single-threaded order before the queue is
+// drained again (see shard.go and the shard-view restrictions below).
+//
+// Shard views. During a sharded round, handlers run on per-shard *Network
+// views whose mutating operations divert into an ordered per-shard lane;
+// operations that would tie global state to delivery interleaving
+// (NewSession, Rand) panic on a view. Handlers must route every engine
+// call through the *Network they are handed, never a captured root
+// network. Near-empty rounds are delivered inline on the engine goroutine
+// (the reference order) rather than paying the worker barrier.
+package congest

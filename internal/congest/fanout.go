@@ -9,6 +9,7 @@ package congest
 type FanoutScratch[R any] struct {
 	outcomes []R
 	procs    []*Proc
+	tasks    []*Task
 }
 
 // Outcomes returns a zeroed outcome slice of length n, reusing capacity.
@@ -35,4 +36,17 @@ func (s *FanoutScratch[R]) KeepProcs(procs []*Proc) {
 		s.procs[i] = nil
 	}
 	s.procs = procs
+}
+
+// Tasks returns the reusable continuation-task slice, truncated to length
+// zero — the Task counterpart of Procs.
+func (s *FanoutScratch[R]) Tasks() []*Task { return s.tasks[:0] }
+
+// KeepTasks stores the appended task slice back into the scratch, clearing
+// any stale tail so finished tasks are not pinned in memory.
+func (s *FanoutScratch[R]) KeepTasks(tasks []*Task) {
+	for i := len(tasks); i < len(s.tasks); i++ {
+		s.tasks[i] = nil
+	}
+	s.tasks = tasks
 }

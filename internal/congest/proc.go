@@ -31,13 +31,14 @@ type Proc struct {
 
 	fn func(*Proc) error
 
-	resume chan wake
+	resume chan Wake
 	yield  chan struct{}
 
 	doneSession SessionID
 	finished    bool
 	pooled      bool
 	err         error
+	panicVal    any       // recovered driver panic, re-raised by the engine
 	awaiting    SessionID // 0 when not blocked; diagnostic only
 }
 
@@ -65,10 +66,13 @@ func (nw *Network) getProc() *Proc {
 	}
 	p := &Proc{
 		nw:     nw,
-		resume: make(chan wake),
+		resume: make(chan Wake),
 		yield:  make(chan struct{}),
 	}
 	nw.allProcs = append(nw.allProcs, p)
+	if len(nw.allProcs) > nw.peakProcs {
+		nw.peakProcs = len(nw.allProcs)
+	}
 	go p.loop()
 	return p
 }
@@ -83,26 +87,50 @@ func (p *Proc) loop() {
 		if fn == nil {
 			return
 		}
-		err := fn(p)
+		err := p.call(fn)
 		// Still the active driver here: safe to touch the network.
 		p.finished = true
 		p.err = err
 		p.nw.live--
-		p.nw.CompleteSession(p.doneSession, nil, err)
+		if p.panicVal == nil {
+			p.nw.CompleteSession(p.doneSession, nil, err)
+		}
 		p.fn = nil
 		p.yield <- struct{}{}
 	}
+}
+
+// call runs the driver function, trapping a panic so the engine goroutine
+// can re-raise it out of Run — the same surface a panicking continuation
+// driver (stepped directly on the engine goroutine) has. On panic the done
+// session is left open; Run is unwinding, nobody will await it.
+func (p *Proc) call(fn func(*Proc) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicVal = r
+		}
+	}()
+	return fn(p)
 }
 
 func (nw *Network) spawn(name string, fn func(*Proc) error) *Proc {
 	p := nw.getProc()
 	p.name, p.tagged = name, false
 	p.fn = fn
-	p.finished, p.err, p.awaiting = false, nil, 0
+	p.finished, p.err, p.awaiting, p.panicVal = false, nil, 0, nil
 	p.doneSession = nw.NewSession(nil)
-	nw.live++
+	nw.noteLive()
 	nw.runq = append(nw.runq, wakeup{p: p})
 	return p
+}
+
+// noteLive counts one freshly spawned driver and updates the live
+// high-water mark.
+func (nw *Network) noteLive() {
+	nw.live++
+	if nw.live > nw.peakLive {
+		nw.peakLive = nw.live
+	}
 }
 
 // releaseProc parks a joined driver in the pool for reuse. Only callers
@@ -116,16 +144,57 @@ func (nw *Network) releaseProc(p *Proc) {
 	nw.procFree = append(nw.procFree, p)
 }
 
-// drainProcPool poisons every parked driver goroutine at Run end: pooled
-// procs and finished-but-unjoined ones alike exit their loops, so an
-// abandoned network never pins goroutines. Blocked drivers (only possible
-// after an unresolved deadlock) are left alone, exactly as before pooling.
+// ErrRunAborted is the error drivers parked mid-await observe when a Run
+// unwinds abnormally (a driver or handler panic re-raised by the engine):
+// their pending Awaits return it so the goroutines can exit with the Run.
+var ErrRunAborted = errors.New("congest: run aborted")
+
+// drainProcPool tears down every driver goroutine at Run end so an
+// abandoned network never pins stacks. Drivers parked mid-await — the
+// state a panic exit leaves a fan-out in — are woken with ErrRunAborted
+// until they finish (an unwinding driver may park again, e.g. WaitAll
+// moving to its next child, so iterate to a fixed point); spawned-but-
+// never-started drivers and finished ones are poisoned out of their
+// loops. The run queue is discarded: wakeups enqueued during the unwind
+// have no engine loop left to deliver them.
 func (nw *Network) drainProcPool() {
-	for _, p := range nw.allProcs {
-		if p.finished && p.fn == nil {
-			p.resume <- wake{} // nil fn: the loop exits without yielding
+	for pass := 0; pass < maxDeadlockResolutions; pass++ {
+		woke := false
+		for _, p := range nw.allProcs {
+			if p.finished || p.awaiting == 0 {
+				continue
+			}
+			// Unbind the session's waiter first: the driver re-parks or
+			// finishes without consuming it, and a stale pointer would
+			// corrupt a later Run on the same network.
+			if s := nw.lookupSession(p.awaiting); s != nil && s.waiter == p {
+				s.waiter = nil
+			}
+			p.resume <- Wake{err: ErrRunAborted}
+			<-p.yield
+			woke = true
+		}
+		if !woke {
+			break
 		}
 	}
+	for _, p := range nw.allProcs {
+		if !p.finished && p.fn != nil && p.awaiting == 0 {
+			// Spawned but never scheduled (the panic hit before its runq
+			// entry drained): parked at its loop top. Poison without
+			// running the assignment.
+			p.fn = nil
+			p.resume <- Wake{}
+			continue
+		}
+		if p.finished && p.fn == nil {
+			p.resume <- Wake{} // nil fn: the loop exits without yielding
+		}
+	}
+	for i := range nw.runq {
+		nw.runq[i] = wakeup{}
+	}
+	nw.runq = nw.runq[:0]
 	nw.allProcs = nw.allProcs[:0]
 	nw.procFree = nw.procFree[:0]
 	nw.live = 0
@@ -152,10 +221,7 @@ func (p *Proc) Await(sid SessionID) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	if w.unboxed {
-		return w.u, w.err
-	}
-	return w.result, w.err
+	return w.Value()
 }
 
 // AwaitU is Await for sessions completed with CompleteSessionU: the
@@ -167,30 +233,29 @@ func (p *Proc) AwaitU(sid SessionID) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if w.unboxed {
-		return w.u, w.err
-	}
-	if w.err != nil {
-		return 0, w.err
-	}
-	if u, ok := w.result.(uint64); ok {
-		return u, nil
-	}
-	return 0, fmt.Errorf("congest: AwaitU on session %d completed with boxed %T, not uint64", sid, w.result)
+	return w.U()
 }
 
-func (p *Proc) await(sid SessionID) (wake, error) {
+// AwaitWake is the raw await: it parks the driver until the session
+// completes and returns the completion itself. Blocking drive loops that
+// step a continuation machine (see StepDriver) use it to hand the machine
+// exactly the Wake the engine would have delivered.
+func (p *Proc) AwaitWake(sid SessionID) (Wake, error) {
+	return p.await(sid)
+}
+
+func (p *Proc) await(sid SessionID) (Wake, error) {
 	s := p.nw.lookupSession(sid)
 	if s == nil {
-		return wake{}, fmt.Errorf("congest: await on unknown session %d", sid)
+		return Wake{}, fmt.Errorf("congest: await on unknown session %d", sid)
 	}
 	if s.completed {
-		w := wake{result: s.result, u: s.resultU, unboxed: s.unboxed, err: s.err}
+		w := Wake{result: s.result, u: s.resultU, unboxed: s.unboxed, err: s.err}
 		p.nw.freeSession(s)
 		return w, nil
 	}
-	if s.waiter != nil {
-		return wake{}, fmt.Errorf("congest: session %d already has a waiter", sid)
+	if s.waiter != nil || s.twaiter != nil {
+		return Wake{}, fmt.Errorf("congest: session %d already has a waiter", sid)
 	}
 	s.waiter = p
 	p.awaiting = sid
@@ -263,8 +328,11 @@ func (nw *Network) Run() error {
 		se = nw.ensureShardEngine()
 		defer nw.closeShardEngine(se)
 	}
-	// Drain the driver pool on every exit path: parked goroutines must not
-	// outlive the Run that created them.
+	// Drain the driver pools on every exit path: parked goroutines and
+	// pooled tasks must not outlive the Run that created them. LIFO defer
+	// order makes drainProcPool run first — unwinding drivers may still
+	// release tasks.
+	defer nw.drainTaskPool()
 	defer nw.drainProcPool()
 
 	var deadlockErr error
@@ -272,19 +340,35 @@ func (nw *Network) Run() error {
 		// 1. Run every runnable driver to its next block/finish. Drain by
 		// index — drivers may append new wakeups while running — then
 		// truncate in place, so the queue's backing array recycles instead
-		// of losing capacity off the front.
+		// of losing capacity off the front. Goroutine drivers resume via
+		// their channels; continuation tasks are stepped right here on the
+		// engine goroutine, in the same queue order.
 		for i := 0; i < len(nw.runq); i++ {
 			wu := nw.runq[i]
 			nw.runq[i] = wakeup{}
+			if wu.t != nil {
+				nw.stepTask(wu.t, wu.w)
+				continue
+			}
 			wu.p.resume <- wu.w
 			<-wu.p.yield
+			if pv := wu.p.panicVal; pv != nil {
+				// Driver panics surface from Run on the engine goroutine,
+				// for both driver models alike.
+				panic(pv)
+			}
 		}
 		nw.runq = nw.runq[:0]
 		// 2. Deliver the next batch of messages. Batch slices are owned by
 		// the scheduler and recycled; delivered messages go back to the
 		// free list, so steady-state delivery allocates nothing.
 		if batch := nw.sched.nextBatch(); batch != nil {
-			if se != nil {
+			// Near-empty rounds (election-token convergence, probe tails)
+			// don't amortize the worker barrier's two channel ops per
+			// shard; deliver them inline. The inline path IS the
+			// single-threaded reference order, so the choice is invisible
+			// to the determinism contract.
+			if se != nil && len(batch) >= shardMinBatch {
 				nw.deliverSharded(se, batch)
 				continue
 			}
@@ -335,6 +419,11 @@ func (nw *Network) Run() error {
 					return p.err
 				}
 			}
+			for _, tk := range nw.allTasks {
+				if tk.err != nil {
+					return tk.err
+				}
+			}
 			return nil
 		}
 		// Deadlock: wake every blocked driver with an error so its
@@ -352,6 +441,13 @@ func (nw *Network) Run() error {
 			blocked = append(blocked, fmt.Sprintf("%s (awaiting session %d)", p.Name(), p.awaiting))
 			nw.CompleteSession(p.awaiting, nil, ErrDeadlock)
 		}
+		for _, tk := range nw.allTasks {
+			if tk.finished || tk.awaiting == 0 {
+				continue
+			}
+			blocked = append(blocked, fmt.Sprintf("%s (awaiting session %d)", tk.Name(), tk.awaiting))
+			nw.CompleteSession(tk.awaiting, nil, ErrDeadlock)
+		}
 		if deadlockErr == nil {
 			deadlockErr = fmt.Errorf("%w: %v", ErrDeadlock, blocked)
 		}
@@ -365,3 +461,13 @@ func (nw *Network) Run() error {
 
 // maxDeadlockResolutions bounds the unwind loop after a deadlock diagnosis.
 const maxDeadlockResolutions = 1 << 16
+
+// shardMinBatch is the smallest synchronous round worth dispatching to the
+// shard workers. Below it the barrier overhead (two channel operations per
+// worker plus the ordered merge) exceeds the handler work, so the round is
+// delivered inline on the engine goroutine — which is the reference order
+// the sharded merge reproduces anyway, so the threshold cannot affect any
+// observable. Sized so a round must carry at least a few dozen messages
+// per expected worker before fan-out pays. A var only so tests can force
+// the sharded path for tiny rounds.
+var shardMinBatch = 128

@@ -33,7 +33,7 @@ import (
 type laneOp struct {
 	m        *Message
 	sid      SessionID
-	w        wake
+	w        Wake
 	complete bool
 }
 

@@ -46,6 +46,11 @@ type shardTrace struct {
 // sharded merge must keep in single-threaded order.
 func runShardWorkload(t *testing.T, shards int) shardTrace {
 	t.Helper()
+	// Force even tiny rounds through the workers: the chain wave's
+	// one-message rounds must exercise the deferred-completion merge, not
+	// the inline fallback.
+	defer func(min int) { shardMinBatch = min }(shardMinBatch)
+	shardMinBatch = 0
 	const n = 61 // prime-ish: uneven shard ranges
 	nw := shardTestNet(t, n, WithSeed(5), WithShards(shards))
 	tr := shardTrace{receipts: make([][][2]uint64, n+1)}
@@ -172,6 +177,8 @@ func TestManyShardsBeyondByteRange(t *testing.T) {
 // value of the globally first panicking delivery, regardless of shard
 // count or which worker hit it.
 func TestShardedHandlerPanicDeterministic(t *testing.T) {
+	defer func(min int) { shardMinBatch = min }(shardMinBatch)
+	shardMinBatch = 0 // the 3-message poison round must reach the workers
 	run := func(shards int) (val any) {
 		nw := shardTestNet(t, 40, WithShards(shards))
 		boom := Kind("shardtest.boom")
@@ -208,6 +215,8 @@ func TestShardedHandlerPanicDeterministic(t *testing.T) {
 // TestShardViewGuards: operations that would break determinism if called
 // from a handler fail loudly on the shard view.
 func TestShardViewGuards(t *testing.T) {
+	defer func(min int) { shardMinBatch = min }(shardMinBatch)
+	shardMinBatch = 0 // force even a one-message round through the workers
 	nw := shardTestNet(t, 16, WithShards(4))
 	kind := Kind("shardtest.guard")
 	var guarded any

@@ -16,13 +16,10 @@ package findany
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
 
 	"kkt/internal/congest"
 	"kkt/internal/hashing"
 	"kkt/internal/rng"
-	"kkt/internal/sketch"
 	"kkt/internal/tree"
 )
 
@@ -194,96 +191,10 @@ func countFold(node *congest.NodeState, down any, acc, child uint64) uint64 {
 // containing it. If it returns an edge, the edge certainly leaves the
 // tree (the counting test is exact); EmptyCut is w.h.p. correct.
 func Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, r *rng.RNG, cfg Config) (Result, error) {
-	if cfg.C < 1 {
-		cfg.C = 1
-	}
-	nw := p.Network()
-	n := float64(nw.N())
-
-	sv, err := sketch.RunSurvey(p, pr, root)
-	if err != nil {
-		return Result{}, err
-	}
-	var res Result
-	if sv.UnmarkedDegreeSum == 0 {
-		res.Reason = EmptyCut
-		return res, nil
-	}
-
-	// Step 2: HP-TestOut gate with error parameter eps(n) < 1/(2n^c).
-	eps := math.Pow(n, -float64(cfg.C)) / 2
-	reps := sketch.NumReps(eps, sv.DegreeSum)
-	full := sketch.Interval{Lo: 1, Hi: sv.MaxComposite}
-	res.Stats.HPTests++
-	leaving, err := sketch.HPTestOut(p, pr, root, sketch.DrawAlphas(r, reps), full)
-	if err != nil {
-		return res, err
-	}
-	if !leaving {
-		res.Reason = EmptyCut
-		return res, nil
-	}
-
-	// Hash range [2^l]: r_range a power of two strictly greater than
-	// twice the degree sum, so |W| <= DegreeSum < 2^(l-1) as Lemma 4
-	// requires.
-	l := bits.Len(uint(2 * sv.DegreeSum))
-	if l < 2 {
-		l = 2
-	}
-	if l > 63 {
-		l = 63
-	}
-
-	maxAttempts := 1
-	if cfg.Variant == Full {
-		maxAttempts = int(math.Ceil(16 * math.Log(1/eps)))
-		if maxAttempts < 1 {
-			maxAttempts = 1
-		}
-	}
-
-	pb := newProbes()
-	for res.Stats.Attempts < maxAttempts {
-		res.Stats.Attempts++
-		h := hashing.NewPairwiseHash(r, l)
-		// Step 3b/c: level-parity vector.
-		pb.levelDown = levelVecDown{Hash: h, L: l}
-		pb.levelSpec.DownBits = h.Bits()
-		pb.levelSpec.UpBits = l + 1
-		vec, err := pr.BroadcastEchoU(p, root, &pb.levelSpec)
-		if err != nil {
-			return res, err
-		}
-		if vec == 0 {
-			continue // no level has odd parity; resample
-		}
-		min := bits.TrailingZeros64(vec)
-		// Step 3d: XOR of edge numbers below 2^min.
-		pb.xorDown = xorDown{Hash: h, Min: min}
-		pb.xorSpec.DownBits = h.Bits() + 8
-		w, err := pr.BroadcastEchoU(p, root, &pb.xorSpec)
-		if err != nil {
-			return res, err
-		}
-		if w == 0 {
-			continue
-		}
-		// Step 4: Test — count in-tree endpoints of the candidate.
-		pb.countDown = countDown{EdgeNum: w}
-		sum, err := pr.BroadcastEchoU(p, root, &pb.countSpec)
-		if err != nil {
-			return res, err
-		}
-		if sum != 1 {
-			continue
-		}
-		a, b := nw.Layout().SplitEdgeNum(w)
-		res.Reason = FoundEdge
-		res.EdgeNum = w
-		res.A, res.B = congest.NodeID(a), congest.NodeID(b)
-		return res, nil
-	}
-	res.Reason = GaveUp
-	return res, nil
+	// One implementation for both driver models: the blocking form drives
+	// the state machine in place (see Machine), so a goroutine driver and
+	// a continuation task perform the identical operation sequence.
+	m := NewMachine()
+	m.Reset(pr, root, r, cfg)
+	return m.Drive(p)
 }

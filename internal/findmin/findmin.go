@@ -11,10 +11,8 @@ package findmin
 import (
 	"fmt"
 	"math"
-	"math/bits"
 
 	"kkt/internal/congest"
-	"kkt/internal/hashing"
 	"kkt/internal/rng"
 	"kkt/internal/sketch"
 	"kkt/internal/tree"
@@ -125,112 +123,12 @@ type Result struct {
 // (TestOut's positives are certain and the final value is a concrete
 // incident edge weight).
 func Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, r *rng.RNG, cfg Config) (Result, error) {
-	if cfg.Lanes < 2 {
-		return Result{}, fmt.Errorf("findmin: need at least 2 lanes, got %d", cfg.Lanes)
-	}
-	if cfg.C < 1 {
-		cfg.C = 1
-	}
-	nw := p.Network()
-	n := float64(nw.N())
-
-	// Step 2: survey the tree for maxWt, maxEdgeNum, degree sums.
-	sv, err := sketch.RunSurvey(p, pr, root)
-	if err != nil {
-		return Result{}, err
-	}
-	var res Result
-	if sv.UnmarkedDegreeSum == 0 {
-		// No candidate edges at all: certainly empty, no search needed.
-		res.Reason = EmptyCut
-		return res, nil
-	}
-	eps := math.Pow(n, -float64(cfg.C+1))
-	reps := sketch.NumReps(eps, sv.DegreeSum)
-
-	// Reusable probe runners: the narrowing loop performs dozens of
-	// broadcast-and-echoes per call, all through these two specs refreshed
-	// in place — no per-iteration spec or payload allocation.
-	testOut := sketch.NewTestOutRunner()
-	hpRun := sketch.NewHPRunner()
-	var alphaBuf [sketch.MaxReps]uint64
-	hp := func(iv sketch.Interval) (bool, error) {
-		res.Stats.HPTests++
-		sketch.DrawAlphasInto(r, alphaBuf[:reps])
-		return hpRun.Run(p, pr, root, alphaBuf[:reps], iv)
-	}
-
-	// Step 3: the search range covers every candidate composite weight.
-	rangeIv := sketch.Interval{Lo: 1, Hi: sv.MaxComposite}
-	maxIter := iterationBudget(cfg, n, float64(sv.MaxComposite))
-
-	for res.Stats.Iterations < maxIter {
-		res.Stats.Iterations++
-		// Steps 4-5: one broadcast carries a fresh odd hash; the echo
-		// carries one TestOut bit per lane.
-		h := hashing.NewOddHash(r)
-		word, err := testOut.Lanes(p, pr, root, h, rangeIv, cfg.Lanes)
-		if err != nil {
-			return res, err
-		}
-		if word == 0 {
-			// No lane fired: either the cut (within range) is empty or
-			// TestOut failed everywhere. Distinguish w.h.p.
-			leaving, err := hp(rangeIv)
-			if err != nil {
-				return res, err
-			}
-			if !leaving {
-				res.Reason = EmptyCut
-				return res, nil
-			}
-			continue
-		}
-		// Step 6: smallest fired lane, by stride arithmetic over the range.
-		minIdx := bits.TrailingZeros64(word)
-		if numLanes := rangeIv.NumLanes(cfg.Lanes); minIdx >= numLanes {
-			return res, fmt.Errorf("findmin: fired lane %d beyond %d lanes", minIdx, numLanes)
-		}
-		lane := rangeIv.Lane(cfg.Lanes, minIdx)
-		if cfg.VerifyNarrowing {
-			// Step 6: TestLow — is there a lighter cut edge below the
-			// fired lane that TestOut missed?
-			if lane.Lo > rangeIv.Lo {
-				low, err := hp(sketch.Interval{Lo: rangeIv.Lo, Hi: lane.Lo - 1})
-				if err != nil {
-					return res, err
-				}
-				if low {
-					continue // paper step 8: repeat without narrowing
-				}
-			}
-			// TestInterval — confirm the fired lane (guards against the
-			// vanishing chance HP-TestOut contradicts a certain positive;
-			// also the paper's step 6 second check).
-			in, err := hp(lane)
-			if err != nil {
-				return res, err
-			}
-			if !in {
-				continue
-			}
-		}
-		// Step 7(a): narrow.
-		res.Stats.Narrowings++
-		rangeIv = lane
-		if rangeIv.Lo == rangeIv.Hi {
-			comp := rangeIv.Lo
-			_, edgeNum := nw.Layout().SplitComposite(comp)
-			a, b := nw.Layout().SplitEdgeNum(edgeNum)
-			res.Reason = FoundEdge
-			res.Composite = comp
-			res.EdgeNum = edgeNum
-			res.A, res.B = congest.NodeID(a), congest.NodeID(b)
-			return res, nil
-		}
-	}
-	res.Reason = GaveUp
-	return res, nil
+	// One implementation for both driver models: the blocking form drives
+	// the state machine in place (see Machine), so a goroutine driver and
+	// a continuation task perform the identical operation sequence.
+	m := NewMachine()
+	m.Reset(pr, root, r, cfg)
+	return m.Drive(p)
 }
 
 // iterationBudget computes the Count bound of FindMin step 8.

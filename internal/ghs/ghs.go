@@ -129,12 +129,20 @@ type BuildResult struct {
 	Rounds   int64
 }
 
-// Build constructs the minimum spanning forest deterministically.
+// Build constructs the minimum spanning forest deterministically, driving
+// fragments with continuation tasks (the default model).
 func Build(nw *congest.Network, pr *tree.Protocol, g *Protocol) (BuildResult, error) {
+	return BuildDrivers(nw, pr, g, congest.DriverCont)
+}
+
+// BuildDrivers is Build with an explicit per-fragment driver model; the
+// goroutine model remains as the parity reference.
+func BuildDrivers(nw *congest.Network, pr *tree.Protocol, g *Protocol, mode congest.DriverMode) (BuildResult, error) {
 	var result BuildResult
 	maxPhases := int(math.Ceil(math.Log2(float64(nw.N())))) + 2
 	nw.Spawn("ghs", func(p *congest.Proc) error {
-		var scratch congest.FanoutScratch[struct{}]
+		var scratch congest.FanoutScratch[bool]
+		var drivers []*fragDriver
 		for phase := 1; ; phase++ {
 			if phase > maxPhases {
 				return fmt.Errorf("ghs: exceeded %d phases — not converging", maxPhases)
@@ -147,29 +155,51 @@ func Build(nw *congest.Network, pr *tree.Protocol, g *Protocol) (BuildResult, er
 				return fmt.Errorf("ghs: cycle in marked subgraph at phase %d", phase)
 			}
 			result.Phases = phase
-			merges := 0
-			procs := scratch.Procs()
-			for _, leader := range elect.Leaders {
-				leader := leader
-				procs = append(procs, p.GoTagged("ghs", uint64(phase), uint64(leader), func(fp *congest.Proc) error {
-					cand, err := g.runFragment(fp, leader, phase)
-					if err != nil {
+			merged := scratch.Outcomes(len(elect.Leaders))
+			if mode == congest.DriverGoroutine {
+				procs := scratch.Procs()
+				for i, leader := range elect.Leaders {
+					i, leader := i, leader
+					procs = append(procs, p.GoTagged("ghs", uint64(phase), uint64(leader), func(fp *congest.Proc) error {
+						cand, err := g.runFragment(fp, leader, phase)
+						if err != nil {
+							return err
+						}
+						if !cand.valid {
+							return nil
+						}
+						merged[i] = true
+						_, err = pr.BroadcastEcho(fp, leader, tree.AddEdgeSpec(cand.edgeNum))
 						return err
-					}
-					if !cand.valid {
-						return nil
-					}
-					merges++
-					_, err = pr.BroadcastEcho(fp, leader, tree.AddEdgeSpec(cand.edgeNum))
+					}))
+				}
+				scratch.KeepProcs(procs)
+				if err := p.WaitAll(procs...); err != nil {
 					return err
-				}))
-			}
-			scratch.KeepProcs(procs)
-			if err := p.WaitAll(procs...); err != nil {
-				return err
+				}
+			} else {
+				tasks := scratch.Tasks()
+				for i, leader := range elect.Leaders {
+					for len(drivers) <= i {
+						drivers = append(drivers, &fragDriver{})
+					}
+					d := drivers[i]
+					d.init(g, pr, leader, phase, &merged[i])
+					tasks = append(tasks, p.GoStepTagged("ghs", uint64(phase), uint64(leader), d))
+				}
+				scratch.KeepTasks(tasks)
+				if err := p.WaitTasks(tasks...); err != nil {
+					return err
+				}
 			}
 			p.AwaitQuiescence()
 			nw.ApplyStaged()
+			merges := 0
+			for _, m := range merged {
+				if m {
+					merges++
+				}
+			}
 			if merges == 0 {
 				return nil // every fragment is maximal: done, deterministically
 			}
@@ -184,6 +214,57 @@ func Build(nw *congest.Network, pr *tree.Protocol, g *Protocol) (BuildResult, er
 		result.Rounds = nw.Now()
 	}
 	return result, err
+}
+
+// fragDriver is the continuation driver of one GHS fragment for one
+// phase: enter the phase at the leader, await the convergecast report,
+// then (when a candidate was accepted) run the Add-Edge broadcast.
+type fragDriver struct {
+	g       *Protocol
+	pr      *tree.Protocol
+	leader  congest.NodeID
+	phase   int
+	merged  *bool
+	started bool // the fragment session is in flight
+	adding  bool // the Add-Edge broadcast is in flight
+}
+
+// init arms the driver for one fragment of one phase.
+func (d *fragDriver) init(g *Protocol, pr *tree.Protocol, leader congest.NodeID, phase int, merged *bool) {
+	d.g, d.pr, d.leader, d.phase, d.merged = g, pr, leader, phase, merged
+	d.started, d.adding = false, false
+}
+
+// Step implements congest.StepDriver: the continuation form of
+// runFragment plus the Add-Edge broadcast.
+func (d *fragDriver) Step(t *congest.Task, w congest.Wake) (congest.SessionID, bool, error) {
+	nw := d.g.nw
+	if !d.started {
+		// First step: enter the phase at the leader (which broadcasts the
+		// fragment identity); the fragment session completes with the
+		// convergecast report of the minimum outgoing candidate.
+		d.started = true
+		sid := nw.NewSession(nil)
+		node := nw.Node(d.leader)
+		st := &d.g.state[d.leader]
+		st.session = sid
+		d.g.enterPhase(nw, node, st, d.phase, d.leader, 0)
+		return sid, false, nil
+	}
+	if err := w.Err(); err != nil {
+		return 0, true, err
+	}
+	if d.adding {
+		return 0, true, nil
+	}
+	v, _ := w.Value()
+	cand := v.(candidate)
+	if !cand.valid {
+		return 0, true, nil
+	}
+	*d.merged = true
+	d.adding = true
+	return d.pr.StartBroadcastEcho(d.leader, tree.AddEdgeSpec(cand.edgeNum)), false, nil
 }
 
 // runFragment drives one fragment through one phase: enter the phase at

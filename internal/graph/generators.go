@@ -2,6 +2,8 @@ package graph
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"kkt/internal/rng"
 )
@@ -111,20 +113,106 @@ func Complete(n int, u uint64, w WeightFunc) *Graph {
 // m-(n-1) distinct random chords. It panics if m < n-1 or m exceeds the
 // number of possible edges.
 func GNM(r *rng.RNG, n, m int, u uint64, w WeightFunc) *Graph {
+	return GNMWorkers(r, n, m, u, w, 1)
+}
+
+// gnmParallelMin is the smallest chord batch worth fanning out to check
+// workers; below it goroutine handoff costs more than the lookups.
+const gnmParallelMin = 4096
+
+// GNMWorkers is GNM with the chord duplicate checks spread over parallel
+// workers. The output is byte-identical to GNM at any worker count — the
+// candidate and weight RNG streams advance exactly as in the sequential
+// rejection loop — so a seeded trial may size workers to its shard count
+// freely.
+//
+// How the equivalence works: the sequential loop draws candidate pairs
+// from r one at a time and accepts a pair iff it is not a self-loop, not
+// already an edge, and not a duplicate of an earlier accept. While n_acc
+// accepts are still needed, the next n_acc draws happen unconditionally
+// (each draw yields at most one accept), so the generator may draw them as
+// one batch without disturbing the stream. Membership checks against the
+// pre-batch graph — the expensive part at millions of edges — then run on
+// parallel workers over chunk of the batch; within-batch duplicates are
+// resolved sequentially in draw order, reproducing the rejection loop's
+// accept sequence exactly. Weights are drawn in accept order, as always.
+func GNMWorkers(r *rng.RNG, n, m int, u uint64, w WeightFunc, workers int) *Graph {
 	maxM := n * (n - 1) / 2
 	if m < n-1 || m > maxM {
 		panic(fmt.Sprintf("graph: GNM with m=%d outside [n-1=%d, %d]", m, n-1, maxM))
 	}
 	g := RandomTree(r, n, u, w)
 	k := n - 1
+
+	var cand [][2]uint32
+	var taken []bool
+	var seen map[uint64]struct{}
 	for g.M() < m {
-		a := uint32(r.Intn(n) + 1)
-		b := uint32(r.Intn(n) + 1)
-		if a == b || g.HasEdge(a, b) {
+		need := m - g.M()
+		if workers < 2 || need < gnmParallelMin {
+			// The plain rejection loop; also the reference the batched
+			// path must match draw for draw.
+			a := uint32(r.Intn(n) + 1)
+			b := uint32(r.Intn(n) + 1)
+			if a == b || g.HasEdge(a, b) {
+				continue
+			}
+			g.MustAddEdge(a, b, w(k))
+			k++
 			continue
 		}
-		g.MustAddEdge(a, b, w(k))
-		k++
+		// Draw the next `need` candidates of the sequential stream.
+		if cap(cand) < need {
+			cand = make([][2]uint32, need)
+			taken = make([]bool, need)
+		}
+		cand = cand[:need]
+		taken = taken[:need]
+		for i := range cand {
+			cand[i] = [2]uint32{uint32(r.Intn(n) + 1), uint32(r.Intn(n) + 1)}
+		}
+		// Parallel phase: mark candidates rejected by the pre-batch graph.
+		// Workers only read the graph, so chunks need no coordination
+		// beyond the final join.
+		var wg sync.WaitGroup
+		chunk := (need + workers - 1) / workers
+		for lo := 0; lo < need; lo += chunk {
+			hi := lo + chunk
+			if hi > need {
+				hi = need
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					a, b := cand[i][0], cand[i][1]
+					taken[i] = a == b || g.HasEdge(a, b)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		// Sequential resolve in draw order: within-batch duplicates reject
+		// exactly as the rejection loop would have.
+		if seen == nil {
+			seen = make(map[uint64]struct{}, need)
+		}
+		for i := 0; i < need && g.M() < m; i++ {
+			if taken[i] {
+				continue
+			}
+			a, b := cand[i][0], cand[i][1]
+			if a > b {
+				a, b = b, a
+			}
+			key := uint64(a)<<32 | uint64(b)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			g.MustAddEdge(a, b, w(k))
+			k++
+		}
+		clear(seen)
 	}
 	return g
 }
@@ -133,6 +221,14 @@ func GNM(r *rng.RNG, n, m int, u uint64, w WeightFunc) *Graph {
 // present independently with probability p, and a random tree over the
 // leftover components stitches the graph connected.
 func GNP(r *rng.RNG, n int, p float64, u uint64, w WeightFunc) *Graph {
+	return GNPWorkers(r, n, p, u, w, 1)
+}
+
+// GNPWorkers is GNP with the connectivity patching's component labelling
+// run on parallel workers; byte-identical to GNP at any worker count (the
+// edge draws are one sequential Bernoulli stream by definition, and the
+// component partition is a function of the graph alone).
+func GNPWorkers(r *rng.RNG, n int, p float64, u uint64, w WeightFunc, workers int) *Graph {
 	g := MustNew(n, u)
 	k := 0
 	for a := 1; a <= n; a++ {
@@ -143,7 +239,7 @@ func GNP(r *rng.RNG, n int, p float64, u uint64, w WeightFunc) *Graph {
 			}
 		}
 	}
-	stitchConnected(r, g, w, &k)
+	stitchConnected(r, g, w, &k, workers)
 	return g
 }
 
@@ -244,10 +340,11 @@ func Barbell(k, pathLen int, u uint64, w WeightFunc) *Graph {
 }
 
 // stitchConnected adds random edges between components until the graph is
-// connected.
-func stitchConnected(r *rng.RNG, g *Graph, w WeightFunc, k *int) {
+// connected. The component labelling (the expensive part at scale) fans
+// out over the given worker count.
+func stitchConnected(r *rng.RNG, g *Graph, w WeightFunc, k *int, workers int) {
 	for {
-		comp, ncomp := components(g)
+		comp, ncomp := componentsWorkers(g, workers)
 		if ncomp <= 1 {
 			return
 		}
@@ -274,34 +371,97 @@ func stitchConnected(r *rng.RNG, g *Graph, w WeightFunc, k *int) {
 // components labels nodes with component indices 0..ncomp-1 (index 0 of the
 // returned slice is unused).
 func components(g *Graph) (comp []int, ncomp int) {
-	comp = make([]int, g.N+1)
-	for i := range comp {
-		comp[i] = -1
+	return componentsWorkers(g, 1)
+}
+
+// ufParallelMin is the smallest edge count worth fanning component unions
+// out to workers.
+const ufParallelMin = 1 << 15
+
+// componentsWorkers labels components via union-find, unioning edge chunks
+// on parallel workers. The lock-free union (CAS only ever retargets a
+// root, path halving only ever shortcuts toward an ancestor) computes the
+// connectivity partition, which is a function of the edge set alone, so
+// the result is independent of worker count and interleaving; labels are
+// then canonicalised in first-node order — exactly the numbering the old
+// sequential DFS produced.
+func componentsWorkers(g *Graph, workers int) (comp []int, ncomp int) {
+	n := g.N
+	parent := make([]uint32, n+1)
+	for i := range parent {
+		parent[i] = uint32(i)
 	}
-	adj := g.Adjacency()
-	var stack []uint32
-	for s := 1; s <= g.N; s++ {
-		if comp[s] >= 0 {
-			continue
-		}
-		comp[s] = ncomp
-		stack = append(stack[:0], uint32(s))
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, ei := range adj[v] {
-				e := g.Edge(ei)
-				o := e.A
-				if o == v {
-					o = e.B
-				}
-				if comp[o] < 0 {
-					comp[o] = ncomp
-					stack = append(stack, o)
-				}
+	edges := g.Edges()
+	if workers > 1 && len(edges) >= ufParallelMin {
+		var wg sync.WaitGroup
+		chunk := (len(edges) + workers - 1) / workers
+		for lo := 0; lo < len(edges); lo += chunk {
+			hi := lo + chunk
+			if hi > len(edges) {
+				hi = len(edges)
 			}
+			wg.Add(1)
+			go func(part []Edge) {
+				defer wg.Done()
+				for _, e := range part {
+					ufUnion(parent, e.A, e.B)
+				}
+			}(edges[lo:hi])
 		}
-		ncomp++
+		wg.Wait()
+	} else {
+		for _, e := range edges {
+			ufUnion(parent, e.A, e.B)
+		}
+	}
+	// Canonical labels: scanning nodes in ascending order, a component is
+	// numbered when its first (smallest) node appears — matching the DFS
+	// numbering stitchConnected always relied on.
+	comp = make([]int, n+1)
+	label := make([]int, n+1)
+	for i := range label {
+		label[i] = -1
+	}
+	comp[0] = -1
+	for v := 1; v <= n; v++ {
+		root := int(ufFind(parent, uint32(v)))
+		if label[root] < 0 {
+			label[root] = ncomp
+			ncomp++
+		}
+		comp[v] = label[root]
 	}
 	return comp, ncomp
+}
+
+// ufFind resolves x's root with path halving; safe under concurrent
+// unions (parent pointers only ever move toward an ancestor).
+func ufFind(parent []uint32, x uint32) uint32 {
+	for {
+		p := atomic.LoadUint32(&parent[x])
+		if p == x {
+			return x
+		}
+		gp := atomic.LoadUint32(&parent[p])
+		atomic.CompareAndSwapUint32(&parent[x], p, gp)
+		x = gp
+	}
+}
+
+// ufUnion links the components of a and b, attaching the larger root under
+// the smaller; the CAS only succeeds on a current root, so concurrent
+// unions retry rather than corrupt the forest.
+func ufUnion(parent []uint32, a, b uint32) {
+	for {
+		ra, rb := ufFind(parent, a), ufFind(parent, b)
+		if ra == rb {
+			return
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		if atomic.CompareAndSwapUint32(&parent[rb], rb, ra) {
+			return
+		}
+	}
 }

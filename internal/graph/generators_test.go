@@ -167,6 +167,120 @@ func TestGeneratorDeterminism(t *testing.T) {
 	}
 }
 
+// fingerprint folds a graph's full edge list (order, endpoints, weight)
+// into one FNV-style word, so golden tests can pin a generator's exact
+// output across refactors.
+func fingerprint(g *Graph) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001b3
+	}
+	for _, e := range g.Edges() {
+		mix(uint64(e.A))
+		mix(uint64(e.B))
+		mix(e.Raw)
+	}
+	return h
+}
+
+// TestGNMWorkersByteIdentical is the golden gate of the parallel
+// generator: at any worker count the edge list matches the sequential
+// rejection loop edge for edge, and the candidate RNG stream ends at the
+// same position. The size is chosen so the first chord batch (6001
+// candidates) exceeds gnmParallelMin and genuinely exercises the
+// fan-out/resolve path.
+func TestGNMWorkersByteIdentical(t *testing.T) {
+	const n, m = 2000, 8000
+	gen := func(workers int) (*Graph, uint64) {
+		r := rng.New(42)
+		g := GNMWorkers(r, n, m, 1000, UniformWeights(rng.New(43), 1000), workers)
+		return g, r.Uint64() // the stream position after generation is part of the contract
+	}
+	want, wantNext := gen(1)
+	if err := want.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got, gotNext := gen(workers)
+		if got.M() != want.M() {
+			t.Fatalf("workers=%d: %d edges, want %d", workers, got.M(), want.M())
+		}
+		for i := range want.Edges() {
+			if got.Edge(i) != want.Edge(i) {
+				t.Fatalf("workers=%d: edge %d = %+v, want %+v", workers, i, got.Edge(i), want.Edge(i))
+			}
+		}
+		if gotNext != wantNext {
+			t.Errorf("workers=%d: RNG stream diverged after generation", workers)
+		}
+	}
+	// And GNM itself must be the workers=1 path.
+	seq := GNM(rng.New(42), n, m, 1000, UniformWeights(rng.New(43), 1000))
+	if fingerprint(seq) != fingerprint(want) {
+		t.Error("GNM and GNMWorkers(1) diverge")
+	}
+}
+
+// TestGNMFingerprintPinned pins one seeded GNM output outright, so any
+// accidental change to the generation algorithm (which would silently
+// re-roll every seeded scenario in the suite) fails loudly.
+func TestGNMFingerprintPinned(t *testing.T) {
+	g := GNM(rng.New(42), 200, 600, 1000, UniformWeights(rng.New(43), 1000))
+	const want = 0x5aed7a8e09ea9fe7
+	if got := fingerprint(g); got != want {
+		t.Fatalf("GNM(42, 200, 600) fingerprint %#x, want %#x — the generator's output changed", got, want)
+	}
+}
+
+// TestComponentsWorkersMatch: the parallel union-find labelling agrees
+// with the sequential one on a graph large enough to cross ufParallelMin
+// (so the CAS path really runs, including under -race).
+func TestComponentsWorkersMatch(t *testing.T) {
+	// Two large GNM blobs plus isolated nodes: several components, ~40k
+	// edges.
+	w := UniformWeights(rng.New(10), 100)
+	g := MustNew(2100, 100)
+	blob := func(lo, n, m int) {
+		sub := GNM(rng.New(uint64(lo)), n, m, 100, w)
+		for _, e := range sub.Edges() {
+			g.MustAddEdge(e.A+uint32(lo), e.B+uint32(lo), e.Raw)
+		}
+	}
+	blob(0, 1000, 20000)
+	blob(1000, 1000, 20000)
+	seqComp, seqN := componentsWorkers(g, 1)
+	for _, workers := range []int{2, 4, 7} {
+		parComp, parN := componentsWorkers(g, workers)
+		if parN != seqN {
+			t.Fatalf("workers=%d: %d components, want %d", workers, parN, seqN)
+		}
+		for v := 1; v <= g.N; v++ {
+			if parComp[v] != seqComp[v] {
+				t.Fatalf("workers=%d: comp[%d] = %d, want %d", workers, v, parComp[v], seqComp[v])
+			}
+		}
+	}
+}
+
+// TestGNPWorkersByteIdentical: connectivity patching with parallel
+// labelling stitches exactly the same edges.
+func TestGNPWorkersByteIdentical(t *testing.T) {
+	gen := func(workers int) *Graph {
+		return GNPWorkers(rng.New(6), 300, 0.004, 50, UniformWeights(rng.New(7), 50), workers)
+	}
+	want := gen(1)
+	if !isConnected(want) {
+		t.Fatal("GNP not stitched connected")
+	}
+	for _, workers := range []int{2, 4} {
+		got := gen(workers)
+		if fingerprint(got) != fingerprint(want) {
+			t.Fatalf("workers=%d: stitched graph diverges", workers)
+		}
+	}
+}
+
 func TestExpander(t *testing.T) {
 	r := rng.New(7)
 	g := Expander(r, 64, 4, 100, UniformWeights(rng.New(8), 100))

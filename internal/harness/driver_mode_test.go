@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"kkt/internal/congest"
+)
+
+// TestDriverModeReportsIdentical is the continuation-driver determinism
+// contract, checked the same way the shard contract is: every small-suite
+// scenario produces byte-identical seeded metrics and per-kind traffic
+// under goroutine-per-fragment drivers and under continuation tasks. The
+// two models must differ only in footprint, never in any observable.
+func TestDriverModeReportsIdentical(t *testing.T) {
+	for _, spec := range smallBuiltinSpecs(t) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			mG, kG, errG := RunTrialDrivers(spec, 3, 1, congest.DriverGoroutine)
+			mC, kC, errC := RunTrialDrivers(spec, 3, 1, congest.DriverCont)
+			if (errG == nil) != (errC == nil) {
+				t.Fatalf("error divergence: goroutine=%v continuation=%v", errG, errC)
+			}
+			bG, _ := json.Marshal(mG) // footprint fields are json:"-" by design
+			bC, _ := json.Marshal(mC)
+			if !bytes.Equal(bG, bC) {
+				t.Errorf("metrics diverge:\n goroutine:    %s\n continuation: %s", bG, bC)
+			}
+			kgB, _ := json.Marshal(kG)
+			kcB, _ := json.Marshal(kC)
+			if !bytes.Equal(kgB, kcB) {
+				t.Errorf("per-kind traffic diverges:\n goroutine:    %s\n continuation: %s", kgB, kcB)
+			}
+		})
+	}
+}
+
+// TestContinuationDriversCutPeakGoroutines is the footprint gate of the
+// continuation model (the ISSUE's ≥10x criterion, measured in-process on a
+// build small enough for a test): the goroutine model parks one driver
+// goroutine per first-phase fragment, the continuation model needs only
+// the phase controller — the fan-out lives in pooled heap tasks.
+func TestContinuationDriversCutPeakGoroutines(t *testing.T) {
+	spec := Spec{
+		Name:   "drivergate/gnm-512",
+		Family: FamilyGNM, N: 512,
+		Sched: SchedSync,
+		Algo:  AlgoMSTBuildAdaptive,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mG, _, err := RunTrialDrivers(spec, 5, 1, congest.DriverGoroutine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mC, _, err := RunTrialDrivers(spec, 5, 1, congest.DriverCont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mG.Valid || !mC.Valid {
+		t.Fatalf("build invalid: goroutine=%v continuation=%v", mG.Valid, mC.Valid)
+	}
+	// The goroutine build's first Borůvka phase spawns one driver per node.
+	if mG.PeakDriverGoroutines < spec.N {
+		t.Fatalf("goroutine baseline peaked at %d driver goroutines, want >= %d", mG.PeakDriverGoroutines, spec.N)
+	}
+	if mC.PeakDriverGoroutines*10 > mG.PeakDriverGoroutines {
+		t.Errorf("continuation build peaked at %d driver goroutines vs %d baseline — less than the 10x reduction gate",
+			mC.PeakDriverGoroutines, mG.PeakDriverGoroutines)
+	}
+	// The fan-out still happened — as tasks, with the same concurrency.
+	if mC.PeakDriverTasks < spec.N {
+		t.Errorf("continuation build peaked at %d tasks, want >= %d (the phase-1 fan-out)", mC.PeakDriverTasks, spec.N)
+	}
+	if mC.PeakLiveDrivers < spec.N {
+		t.Errorf("continuation build peaked at %d live drivers, want >= %d", mC.PeakLiveDrivers, spec.N)
+	}
+}

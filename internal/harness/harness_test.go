@@ -2,10 +2,10 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
-	"reflect"
 	"testing"
 )
 
@@ -113,8 +113,13 @@ func TestSameSeedSameMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(a, b) {
-		t.Fatalf("same seed, different metrics:\n%+v\nvs\n%+v", a, b)
+	// Compare the serialized form: that is the determinism contract.
+	// Footprint fields (HeapSysMB and friends) are json:"-" precisely
+	// because they reflect process state, not the simulated protocol.
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("same seed, different metrics:\n%s\nvs\n%s", aj, bj)
 	}
 	for _, res := range a {
 		for _, tr := range res.Trials {

@@ -17,6 +17,23 @@ type TrialMetrics struct {
 	// tests enforce — a serialized knob would break it trivially.
 	Shards int `json:"-"`
 
+	// Driver/memory footprint of the trial's network — the gate for the
+	// continuation driver model (a goroutine-per-fragment build peaks at
+	// ~fragment-count goroutines, a continuation build at a handful).
+	// Excluded from serialization like Shards: footprint is an execution
+	// knob, not an observable of the simulated protocol, and seeded
+	// reports must stay byte-identical across driver models.
+	PeakDriverGoroutines int `json:"-"`
+	// PeakDriverTasks is the continuation-task high-water mark.
+	PeakDriverTasks int `json:"-"`
+	// PeakLiveDrivers is the peak of concurrently-unfinished drivers of
+	// both models (the fragment fan-out width).
+	PeakLiveDrivers int `json:"-"`
+	// HeapSysMB is the Go heap footprint (runtime.MemStats.HeapSys) right
+	// after the trial, in MiB. Process-global, so only meaningful for
+	// single-trial runs like make bench-1m.
+	HeapSysMB uint64 `json:"-"`
+
 	// Messages/Bits are the congest counters over the measured section
 	// (the whole run for builds; the fault script for repairs — forest
 	// setup is free). Time is rounds (sync) or virtual time (async).

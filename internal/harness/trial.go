@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"kkt/internal/congest"
 	"kkt/internal/flood"
@@ -37,11 +38,14 @@ func trialSeed(base uint64, name string, trial int) uint64 {
 }
 
 // buildGraph constructs the scenario topology from the trial's stream.
-func buildGraph(s Spec, r *rng.RNG) *graph.Graph {
+// workers parallelizes generation where a generator supports it (GNM's
+// chord checks); generated graphs are byte-identical at any worker count,
+// so the trial's shard count doubles as the generation fan-out.
+func buildGraph(s Spec, r *rng.RNG, workers int) *graph.Graph {
 	w := graph.UniformWeights(r.Split(), s.MaxRaw)
 	switch s.Family {
 	case FamilyGNM:
-		return graph.GNM(r, s.N, s.M, s.MaxRaw, w)
+		return graph.GNMWorkers(r, s.N, s.M, s.MaxRaw, w, workers)
 	case FamilyRing:
 		return graph.Ring(s.N, s.MaxRaw, w)
 	case FamilyGrid:
@@ -64,14 +68,21 @@ func RunTrial(spec Spec, seed uint64) (TrialMetrics, map[string]congest.KindCoun
 	return RunTrialShards(spec, seed, 1)
 }
 
-// RunTrialShards executes one seeded trial of the scenario on the given
-// shard count and returns its metrics plus the per-kind traffic
-// breakdown. The shard count is a wall-clock knob only — the sharded
-// engine's determinism contract guarantees identical metrics at any value
-// — so the seed alone still identifies the trial. Specs must already be
-// validated (registry scenarios are). Protocol panics are converted to
-// errors so one bad trial cannot take down a bench sweep.
-func RunTrialShards(spec Spec, seed uint64, shards int) (m TrialMetrics, byKind map[string]congest.KindCount, err error) {
+// RunTrialShards executes one seeded trial on the given shard count with
+// the default (continuation) driver model; see RunTrialDrivers.
+func RunTrialShards(spec Spec, seed uint64, shards int) (TrialMetrics, map[string]congest.KindCount, error) {
+	return RunTrialDrivers(spec, seed, shards, congest.DriverCont)
+}
+
+// RunTrialDrivers executes one seeded trial of the scenario on the given
+// shard count and per-fragment driver model, and returns its metrics plus
+// the per-kind traffic breakdown. Shard count and driver model are both
+// execution knobs only — the engine's determinism contracts guarantee
+// identical metrics at any value of either — so the seed alone still
+// identifies the trial. Specs must already be validated (registry
+// scenarios are). Protocol panics are converted to errors so one bad
+// trial cannot take down a bench sweep.
+func RunTrialDrivers(spec Spec, seed uint64, shards int, drivers congest.DriverMode) (m TrialMetrics, byKind map[string]congest.KindCount, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("harness: trial panicked: %v", r)
@@ -82,7 +93,7 @@ func RunTrialShards(spec Spec, seed uint64, shards int) (m TrialMetrics, byKind 
 	}
 	s := spec.withDefaults()
 	r := rng.New(seed)
-	g := buildGraph(s, r.Split())
+	g := buildGraph(s, r.Split(), shards)
 
 	var opts []congest.Option
 	opts = append(opts, congest.WithSeed(seed))
@@ -98,6 +109,7 @@ func RunTrialShards(spec Spec, seed uint64, shards int) (m TrialMetrics, byKind 
 	switch s.Algo {
 	case AlgoMSTBuildAdaptive, AlgoMSTBuildFixed:
 		cfg := mst.DefaultBuild(seed)
+		cfg.Drivers = drivers
 		if s.Algo == AlgoMSTBuildFixed {
 			cfg.Policy = mst.Fixed
 			cfg.C = 1 // the fixed budget is already worst-case; keep it affordable
@@ -112,7 +124,7 @@ func RunTrialShards(spec Spec, seed uint64, shards int) (m TrialMetrics, byKind 
 		m.Valid = spanning.IsMSF(g, forestIndices(g, res.Forest)) == nil
 	case AlgoGHS:
 		gp := ghs.Attach(nw)
-		res, rerr := ghs.Build(nw, pr, gp)
+		res, rerr := ghs.BuildDrivers(nw, pr, gp, drivers)
 		if rerr != nil {
 			return m, nil, rerr
 		}
@@ -122,7 +134,9 @@ func RunTrialShards(spec Spec, seed uint64, shards int) (m TrialMetrics, byKind 
 		m.Valid = spanning.IsMSF(g, forestIndices(g, res.Forest)) == nil
 	case AlgoSTBuild:
 		sp := st.Attach(nw, pr)
-		res, rerr := st.Build(nw, pr, sp, st.DefaultBuild(seed))
+		stCfg := st.DefaultBuild(seed)
+		stCfg.Drivers = drivers
+		res, rerr := st.Build(nw, pr, sp, stCfg)
 		if rerr != nil {
 			return m, nil, rerr
 		}
@@ -147,7 +161,21 @@ func RunTrialShards(spec Spec, seed uint64, shards int) (m TrialMetrics, byKind 
 		return m, nil, fmt.Errorf("harness: unknown algorithm %q", s.Algo)
 	}
 	m.StagedDrops = nw.StagedDrops()
+	captureFootprint(&m, nw)
 	return m, nw.Counters().ByKind, nil
+}
+
+// captureFootprint records the trial's driver and heap high-water marks —
+// the non-serialized TrialMetrics fields gating the continuation driver
+// model's memory claim.
+func captureFootprint(m *TrialMetrics, nw *congest.Network) {
+	ds := nw.DriverStats()
+	m.PeakDriverGoroutines = ds.PeakGoroutines
+	m.PeakDriverTasks = ds.PeakTasks
+	m.PeakLiveDrivers = ds.PeakLive
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.HeapSysMB = ms.HeapSys >> 20
 }
 
 // runRepairStorm seeds the network with the reference forest (setup is
@@ -248,6 +276,7 @@ func runRepairStorm(s Spec, nw *congest.Network, pr *tree.Protocol, g *graph.Gra
 	m.Messages, m.Bits = delta.Messages, delta.Bits
 	m.Time = nw.Now() - baseTime
 	m.StagedDrops = nw.StagedDrops()
+	captureFootprint(&m, nw)
 
 	// Reference check against the final (mutated) topology.
 	final, marked := graphFromNetwork(nw)

@@ -59,6 +59,11 @@ type BuildConfig struct {
 	// FindMin configures the per-fragment search; the paper uses
 	// FindMin-C inside Build MST.
 	FindMin findmin.Config
+	// Drivers selects the per-fragment driver model. The default
+	// (congest.DriverCont) steps pooled FindMin state machines on the
+	// engine; congest.DriverGoroutine parks one pooled goroutine per
+	// fragment — observably identical, kept as the parity reference.
+	Drivers congest.DriverMode
 }
 
 // DefaultBuild returns the paper-faithful configuration.
@@ -118,8 +123,9 @@ func Build(nw *congest.Network, pr *tree.Protocol, cfg BuildConfig) (BuildResult
 	maxPhases := MaxPhases(nw.N(), cfg.C)
 	nw.Spawn("boruvka", func(p *congest.Proc) error {
 		var scratch congest.FanoutScratch[findmin.Reason]
+		var drivers []*fragDriver
 		for phase := 1; phase <= maxPhases; phase++ {
-			stat, err := runPhase(p, nw, pr, cfg, phase, &scratch)
+			stat, err := runPhase(p, nw, pr, cfg, phase, &scratch, &drivers)
 			if err != nil {
 				return err
 			}
@@ -144,10 +150,54 @@ func Build(nw *congest.Network, pr *tree.Protocol, cfg BuildConfig) (BuildResult
 	return result, err
 }
 
+// fragDriver is the continuation driver of one fragment in one Borůvka
+// phase: FindMin-C, then (on success) the Add-Edge broadcast-and-echo. A
+// Build reuses its drivers across phases (fragment counts only shrink),
+// so the steady-state fan-out allocates neither goroutines nor machines.
+type fragDriver struct {
+	m       *findmin.Machine
+	pr      *tree.Protocol
+	leader  congest.NodeID
+	outcome *findmin.Reason
+	adding  bool // the Add-Edge broadcast is in flight
+}
+
+// init arms the driver for one fragment of one phase.
+func (d *fragDriver) init(pr *tree.Protocol, leader congest.NodeID, r *rng.RNG, cfg findmin.Config, outcome *findmin.Reason) {
+	d.pr, d.leader, d.outcome = pr, leader, outcome
+	d.adding = false
+	d.m.Reset(pr, leader, r, cfg)
+}
+
+// Step implements congest.StepDriver: delegate to the FindMin machine,
+// then run the Add-Edge broadcast when it found a cut edge.
+func (d *fragDriver) Step(t *congest.Task, w congest.Wake) (congest.SessionID, bool, error) {
+	if d.adding {
+		_, err := w.Value()
+		return 0, true, err
+	}
+	next, done, err := d.m.Step(t, w)
+	if !done {
+		return next, false, nil
+	}
+	if err != nil {
+		return 0, true, err
+	}
+	res, _ := d.m.Result()
+	*d.outcome = res.Reason
+	if res.Reason != findmin.FoundEdge {
+		return 0, true, nil
+	}
+	// Paper step (c): broadcast Add Edge; endpoints stage marks applied at
+	// the phase barrier (step d).
+	d.adding = true
+	return d.pr.StartBroadcastEcho(d.leader, tree.AddEdgeSpec(res.EdgeNum)), false, nil
+}
+
 // runPhase executes one Borůvka phase: elect leaders, run FindMin-C per
 // fragment concurrently, broadcast Add-Edge for the found edges, then
 // synchronise and apply the staged marks.
-func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg BuildConfig, phase int, scratch *congest.FanoutScratch[findmin.Reason]) (PhaseStat, error) {
+func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg BuildConfig, phase int, scratch *congest.FanoutScratch[findmin.Reason], drivers *[]*fragDriver) (PhaseStat, error) {
 	startMsgs := nw.Counters().Messages
 	startRounds := nw.Now()
 
@@ -161,29 +211,45 @@ func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg Build
 	stat := PhaseStat{Fragments: len(elect.Leaders)}
 
 	outcomes := scratch.Outcomes(len(elect.Leaders))
-	procs := scratch.Procs()
-	for i, leader := range elect.Leaders {
-		i, leader := i, leader
-		procs = append(procs, p.GoTagged("findmin", uint64(phase), uint64(leader), func(fp *congest.Proc) error {
-			r := fragmentRand(cfg.Seed, phase, leader)
-			res, err := findmin.Run(fp, pr, leader, r, cfg.FindMin)
-			if err != nil {
-				return err
-			}
-			outcomes[i] = res.Reason
-			if res.Reason == findmin.FoundEdge {
-				// Paper step (c): broadcast Add Edge; endpoints stage
-				// marks applied at the phase barrier (step d).
-				if _, err := pr.BroadcastEcho(fp, leader, tree.AddEdgeSpec(res.EdgeNum)); err != nil {
+	if cfg.Drivers == congest.DriverGoroutine {
+		procs := scratch.Procs()
+		for i, leader := range elect.Leaders {
+			i, leader := i, leader
+			procs = append(procs, p.GoTagged("findmin", uint64(phase), uint64(leader), func(fp *congest.Proc) error {
+				r := fragmentRand(cfg.Seed, phase, leader)
+				res, err := findmin.Run(fp, pr, leader, r, cfg.FindMin)
+				if err != nil {
 					return err
 				}
+				outcomes[i] = res.Reason
+				if res.Reason == findmin.FoundEdge {
+					// Paper step (c): broadcast Add Edge; endpoints stage
+					// marks applied at the phase barrier (step d).
+					if _, err := pr.BroadcastEcho(fp, leader, tree.AddEdgeSpec(res.EdgeNum)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}))
+		}
+		scratch.KeepProcs(procs)
+		if err := p.WaitAll(procs...); err != nil {
+			return stat, err
+		}
+	} else {
+		tasks := scratch.Tasks()
+		for i, leader := range elect.Leaders {
+			for len(*drivers) <= i {
+				*drivers = append(*drivers, &fragDriver{m: findmin.NewMachine()})
 			}
-			return nil
-		}))
-	}
-	scratch.KeepProcs(procs)
-	if err := p.WaitAll(procs...); err != nil {
-		return stat, err
+			d := (*drivers)[i]
+			d.init(pr, leader, fragmentRand(cfg.Seed, phase, leader), cfg.FindMin, &outcomes[i])
+			tasks = append(tasks, p.GoStepTagged("findmin", uint64(phase), uint64(leader), d))
+		}
+		scratch.KeepTasks(tasks)
+		if err := p.WaitTasks(tasks...); err != nil {
+			return stat, err
+		}
 	}
 	// Phase barrier ("while time < i*maxTime wait"), then the waiting
 	// nodes' local mark application.

@@ -1,0 +1,29 @@
+// Package shard is the deterministic building kit for multi-core
+// execution of a single simulation: a contiguous node partition, a pool of
+// persistent round workers, and an ordered per-shard outbox whose merge
+// reproduces the exact global order a single-threaded run would have
+// produced.
+//
+// The package is engine-agnostic (it knows nothing about messages or
+// networks) so the simulator core can build on it without an import
+// cycle.
+//
+// # Invariants
+//
+// Order independence. Every output of a sharded round is a pure function
+// of the round's inputs; the shard count never leaks into it. Callers key
+// work by a parent index — the position of the triggering event in the
+// round's global input order — and Outbox.Merge replays side effects in
+// (parent index, emission order), which is byte-for-byte the order a
+// single-threaded round would have produced.
+//
+// Ownership. During a round each worker owns its shard's state
+// exclusively and pushes effects only under its own shard id; between
+// rounds the caller owns everything. The round barrier (Workers.Round)
+// is the only synchronization point — no locks exist inside a round.
+//
+// Stability. Partition is pure arithmetic over (n, s): contiguous,
+// near-equal shards, no table to build or keep coherent. Workers persist
+// across rounds (spawned once per Run) so a round costs two channel
+// operations per worker, not a goroutine spawn.
+package shard

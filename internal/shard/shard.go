@@ -1,17 +1,3 @@
-// Package shard is the deterministic building kit for multi-core
-// execution of a single simulation: a contiguous node partition, a pool of
-// persistent round workers, and an ordered per-shard outbox whose merge
-// reproduces the exact global order a single-threaded run would have
-// produced.
-//
-// The package is engine-agnostic (it knows nothing about messages or
-// networks) so the simulator core can build on it without an import
-// cycle. The determinism contract all three pieces share: every output of
-// a sharded round is a pure function of the round's inputs and the shard
-// count never leaks into it — callers key work by a parent index (the
-// position of the triggering event in the round's global input order) and
-// the merge replays side effects in (parent, emission order), which is
-// byte-for-byte the single-threaded order.
 package shard
 
 import "sync"

@@ -148,11 +148,10 @@ func NewHPRunner() *HPRunner {
 	return h
 }
 
-// Run performs HP-TestOut(root, rng) with the given evaluation points and
-// reports whether an edge with composite weight in rng leaves the tree
-// containing root. A false answer is wrong with probability at most
-// (B/p)^len(alphas); a true answer is always correct.
-func (h *HPRunner) Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, alphas []uint64, rng Interval) (bool, error) {
+// Start begins HP-TestOut(root, rng) with the given evaluation points; the
+// session completes with a pooled *hpEval to be consumed with ConsumeHP.
+// Continuation drivers pair Start/ConsumeHP; blocking drivers use Run.
+func (h *HPRunner) Start(pr *tree.Protocol, root congest.NodeID, alphas []uint64, rng Interval) congest.SessionID {
 	if len(alphas) == 0 || len(alphas) > MaxReps {
 		panic("sketch: HPTestOut needs 1..MaxReps alphas")
 	}
@@ -162,10 +161,12 @@ func (h *HPRunner) Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, 
 	h.down.Range = rng
 	h.spec.DownBits = reps*ring.Bits() + 2*64 + 8
 	h.spec.UpBits = reps * 2 * ring.Bits()
-	v, err := pr.BroadcastEcho(p, root, &h.spec)
-	if err != nil {
-		return false, err
-	}
+	return pr.StartBroadcastEcho(root, &h.spec)
+}
+
+// ConsumeHP folds a completed HP-TestOut session's value into the verdict
+// — does an edge in range leave the tree? — and recycles the pooled eval.
+func ConsumeHP(v any) bool {
 	ev := v.(*hpEval)
 	leaving := false
 	for i := 0; i < ev.reps; i++ {
@@ -175,7 +176,19 @@ func (h *HPRunner) Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, 
 		}
 	}
 	hpEvalPool.Put(ev)
-	return leaving, nil
+	return leaving
+}
+
+// Run performs HP-TestOut(root, rng) with the given evaluation points and
+// reports whether an edge with composite weight in rng leaves the tree
+// containing root. A false answer is wrong with probability at most
+// (B/p)^len(alphas); a true answer is always correct.
+func (h *HPRunner) Run(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, alphas []uint64, rng Interval) (bool, error) {
+	v, err := p.Await(h.Start(pr, root, alphas, rng))
+	if err != nil {
+		return false, err
+	}
+	return ConsumeHP(v), nil
 }
 
 // HPTestOut is the one-shot form of HPRunner.Run.

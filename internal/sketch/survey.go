@@ -103,14 +103,27 @@ var surveySpec = tree.Spec{
 // (RunSurvey copies the aggregate out).
 func SurveySpec() *tree.Spec { return &surveySpec }
 
-// RunSurvey performs the survey broadcast-and-echo from root.
-func RunSurvey(p *congest.Proc, pr *tree.Protocol, root congest.NodeID) (Survey, error) {
-	v, err := pr.BroadcastEcho(p, root, &surveySpec)
-	if err != nil {
-		return Survey{}, err
-	}
+// StartSurvey begins the survey broadcast-and-echo from root; the session
+// completes with a pooled *Survey to be consumed with ConsumeSurvey.
+// Continuation drivers pair Start/Consume; blocking drivers use RunSurvey.
+func StartSurvey(pr *tree.Protocol, root congest.NodeID) congest.SessionID {
+	return pr.StartBroadcastEcho(root, &surveySpec)
+}
+
+// ConsumeSurvey copies the aggregate out of a completed survey session's
+// value and recycles the pooled carrier.
+func ConsumeSurvey(v any) Survey {
 	sp := v.(*Survey)
 	s := *sp
 	surveyPool.Put(sp)
-	return s, nil
+	return s
+}
+
+// RunSurvey performs the survey broadcast-and-echo from root.
+func RunSurvey(p *congest.Proc, pr *tree.Protocol, root congest.NodeID) (Survey, error) {
+	v, err := p.Await(StartSurvey(pr, root))
+	if err != nil {
+		return Survey{}, err
+	}
+	return ConsumeSurvey(v), nil
 }

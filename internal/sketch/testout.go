@@ -135,12 +135,20 @@ func NewTestOutRunner() *TestOutRunner {
 	return t
 }
 
+// Start begins one TestOut broadcast-and-echo from root over the lane
+// split of rng; the session completes (unboxed) with the parity word.
+// Continuation drivers await the returned session through the engine;
+// blocking drivers use Lanes.
+func (t *TestOutRunner) Start(pr *tree.Protocol, root congest.NodeID, h hashing.OddHash, rng Interval, nLanes int) congest.SessionID {
+	t.down = testOutDown{Hash: h, Range: rng, NLanes: nLanes, stride: rng.Stride(nLanes)}
+	return pr.StartBroadcastEcho(root, &t.spec)
+}
+
 // Lanes runs one TestOut broadcast-and-echo from root over the lane split
 // of rng and returns the parity word: bit i set means lane i certainly
 // contains an edge leaving the tree. Zero bits are inconclusive.
 func (t *TestOutRunner) Lanes(p *congest.Proc, pr *tree.Protocol, root congest.NodeID, h hashing.OddHash, rng Interval, nLanes int) (uint64, error) {
-	t.down = testOutDown{Hash: h, Range: rng, NLanes: nLanes, stride: rng.Stride(nLanes)}
-	return pr.BroadcastEchoU(p, root, &t.spec)
+	return p.AwaitU(t.Start(pr, root, h, rng, nLanes))
 }
 
 // TestOutLanes is the one-shot form of TestOutRunner.Lanes.

@@ -69,6 +69,9 @@ type BuildConfig struct {
 	// FindAny configures the per-fragment search; the paper uses
 	// FindAny-C inside Build ST.
 	FindAny findany.Config
+	// Drivers selects the per-fragment driver model (continuation state
+	// machines by default; goroutines as the parity reference).
+	Drivers congest.DriverMode
 }
 
 // DefaultBuild returns the paper-faithful configuration.
@@ -116,8 +119,9 @@ func Build(nw *congest.Network, pr *tree.Protocol, sp *Protocol, cfg BuildConfig
 	maxPhases := MaxPhases(nw.N(), cfg.C)
 	nw.Spawn("boruvka-st", func(p *congest.Proc) error {
 		var scratch congest.FanoutScratch[findany.Reason]
+		var drivers []*fragDriver
 		for phase := 1; phase <= maxPhases; phase++ {
-			stat, err := sp.runPhase(p, pr, cfg, phase, &scratch)
+			stat, err := sp.runPhase(p, pr, cfg, phase, &scratch, &drivers)
 			if err != nil {
 				return err
 			}
@@ -139,9 +143,49 @@ func Build(nw *congest.Network, pr *tree.Protocol, sp *Protocol, cfg BuildConfig
 	return result, err
 }
 
+// fragDriver is the continuation driver of one fragment in one Build-ST
+// phase: FindAny-C, then (on success) the Add-Edge broadcast-and-echo.
+// Drivers are reused across phases; see mst's fragDriver for the model.
+type fragDriver struct {
+	m       *findany.Machine
+	pr      *tree.Protocol
+	leader  congest.NodeID
+	outcome *findany.Reason
+	adding  bool
+}
+
+// init arms the driver for one fragment of one phase.
+func (d *fragDriver) init(pr *tree.Protocol, leader congest.NodeID, r *rng.RNG, cfg findany.Config, outcome *findany.Reason) {
+	d.pr, d.leader, d.outcome = pr, leader, outcome
+	d.adding = false
+	d.m.Reset(pr, leader, r, cfg)
+}
+
+// Step implements congest.StepDriver.
+func (d *fragDriver) Step(t *congest.Task, w congest.Wake) (congest.SessionID, bool, error) {
+	if d.adding {
+		_, err := w.Value()
+		return 0, true, err
+	}
+	next, done, err := d.m.Step(t, w)
+	if !done {
+		return next, false, nil
+	}
+	if err != nil {
+		return 0, true, err
+	}
+	res, _ := d.m.Result()
+	*d.outcome = res.Reason
+	if res.Reason != findany.FoundEdge {
+		return 0, true, nil
+	}
+	d.adding = true
+	return d.pr.StartBroadcastEcho(d.leader, tree.AddEdgeSpec(res.EdgeNum)), false, nil
+}
+
 // runPhase: detect and break cycles left by the previous phase's merges,
 // then elect leaders and run FindAny-C per fragment.
-func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig, phase int, scratch *congest.FanoutScratch[findany.Reason]) (PhaseStat, error) {
+func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig, phase int, scratch *congest.FanoutScratch[findany.Reason], drivers *[]*fragDriver) (PhaseStat, error) {
 	nw := sp.nw
 	startMsgs := nw.Counters().Messages
 	startRounds := nw.Now()
@@ -184,27 +228,43 @@ func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig
 	stat.Fragments = len(elect.Leaders)
 
 	outcomes := scratch.Outcomes(len(elect.Leaders))
-	procs := scratch.Procs()
-	for i, leader := range elect.Leaders {
-		i, leader := i, leader
-		procs = append(procs, p.GoTagged("findany", uint64(phase), uint64(leader), func(fp *congest.Proc) error {
-			r := fragmentRand(cfg.Seed, phase, leader)
-			res, err := findany.Run(fp, pr, leader, r, cfg.FindAny)
-			if err != nil {
-				return err
-			}
-			outcomes[i] = res.Reason
-			if res.Reason == findany.FoundEdge {
-				if _, err := pr.BroadcastEcho(fp, leader, tree.AddEdgeSpec(res.EdgeNum)); err != nil {
+	if cfg.Drivers == congest.DriverGoroutine {
+		procs := scratch.Procs()
+		for i, leader := range elect.Leaders {
+			i, leader := i, leader
+			procs = append(procs, p.GoTagged("findany", uint64(phase), uint64(leader), func(fp *congest.Proc) error {
+				r := fragmentRand(cfg.Seed, phase, leader)
+				res, err := findany.Run(fp, pr, leader, r, cfg.FindAny)
+				if err != nil {
 					return err
 				}
+				outcomes[i] = res.Reason
+				if res.Reason == findany.FoundEdge {
+					if _, err := pr.BroadcastEcho(fp, leader, tree.AddEdgeSpec(res.EdgeNum)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}))
+		}
+		scratch.KeepProcs(procs)
+		if err := p.WaitAll(procs...); err != nil {
+			return stat, err
+		}
+	} else {
+		tasks := scratch.Tasks()
+		for i, leader := range elect.Leaders {
+			for len(*drivers) <= i {
+				*drivers = append(*drivers, &fragDriver{m: findany.NewMachine()})
 			}
-			return nil
-		}))
-	}
-	scratch.KeepProcs(procs)
-	if err := p.WaitAll(procs...); err != nil {
-		return stat, err
+			d := (*drivers)[i]
+			d.init(pr, leader, fragmentRand(cfg.Seed, phase, leader), cfg.FindAny, &outcomes[i])
+			tasks = append(tasks, p.GoStepTagged("findany", uint64(phase), uint64(leader), d))
+		}
+		scratch.KeepTasks(tasks)
+		if err := p.WaitTasks(tasks...); err != nil {
+			return stat, err
+		}
 	}
 	p.AwaitQuiescence()
 	nw.ApplyStaged()

@@ -1,20 +1,3 @@
-// Package tree implements the distributed primitives every algorithm in
-// the paper is built from, as message-level automata over the marked
-// (tree) edges of a congest.Network:
-//
-//   - broadcast-and-echo (paper §1, [13]): the root broadcasts a message
-//     down its tree; echoes aggregate values from the leaves back up.
-//     All of TestOut, HP-TestOut, FindMin and FindAny are one or more of
-//     these with different local-compute/aggregate functions.
-//
-//   - leader election by median finding (paper §3.3, ideas of [18]):
-//     leaves start echoes; tokens converge to one median or two adjacent
-//     medians (higher ID wins). On a fragment that is not a tree (the
-//     Build-ST cycle case, §4.2) the nodes on the cycle never finish and
-//     detect this on timeout — modelled as engine quiescence.
-//
-// One Protocol instance is attached to a network and registers the message
-// kinds once; sessions keep concurrent executions independent.
 package tree
 
 import (
