@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-micro bench-ci bench-1m bench-history bench-baseline bench-check clean
+.PHONY: build test race vet bench bench-micro bench-ci bench-1m bench-history bench-baseline bench-check obs-demo clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ bench-baseline:
 bench-check:
 	$(MAKE) bench-micro | $(GO) run ./cmd/benchcheck parse -o BENCH_micro_ci.json
 	$(GO) run ./cmd/benchcheck compare -baseline BENCH_baseline.json -fresh BENCH_micro_ci.json
+
+# Live-observability demo: a 100k-node sharded MST build serving JSON
+# snapshots, Prometheus /metrics and pprof on :8080 while it runs, plus the
+# driver/heap footprint on stderr afterwards. Scrape with e.g.
+# `curl localhost:8080/metrics`.
+obs-demo:
+	$(GO) run ./cmd/kkt run mst-build/gnm-100k/sync --trials 1 --shards $$(nproc) --obs-listen :8080 --obs-hold --footprint
 
 clean:
 	rm -f BENCH_ci.json BENCH_suite.json BENCH_micro_ci.json BENCH_1m.json BENCH_history.md

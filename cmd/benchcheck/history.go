@@ -30,11 +30,12 @@ type historyReport struct {
 			Name string `json:"name"`
 		} `json:"spec"`
 		Summary struct {
-			Messages historyAgg `json:"messages"`
-			Bits     historyAgg `json:"bits"`
-			Time     historyAgg `json:"time"`
-			Valid    int        `json:"valid"`
-			Failed   int        `json:"failed"`
+			Messages   historyAgg     `json:"messages"`
+			Bits       historyAgg     `json:"bits"`
+			Time       historyAgg     `json:"time"`
+			Valid      int            `json:"valid"`
+			Failed     int            `json:"failed"`
+			PhaseCosts []historyPhase `json:"phase_costs"`
 		} `json:"summary"`
 	} `json:"results"`
 }
@@ -42,6 +43,15 @@ type historyReport struct {
 type historyAgg struct {
 	Mean float64 `json:"mean"`
 	P50  uint64  `json:"p50"`
+}
+
+// historyPhase is one entry of a scenario's per-phase cost timeline
+// (summed across trials by the harness).
+type historyPhase struct {
+	Phase    int    `json:"phase"`
+	Messages uint64 `json:"messages"`
+	Bits     uint64 `json:"bits"`
+	Rounds   int64  `json:"rounds"`
 }
 
 // historyColumn is one report in the trajectory, labelled by its file name.
@@ -172,20 +182,47 @@ func writeHistoryMarkdown(w io.Writer, cols []historyColumn, metric string) erro
 		}
 		fmt.Fprintln(w)
 	}
+	writePhaseTimelines(w, cols)
 	return nil
+}
+
+// writePhaseTimelines appends the per-phase cost timelines of the newest
+// report (the last column) for every scenario that carries one, so the
+// markdown artifact shows where each build's budget went phase by phase.
+func writePhaseTimelines(w io.Writer, cols []historyColumn) {
+	if len(cols) == 0 {
+		return
+	}
+	latest := cols[len(cols)-1]
+	wrote := false
+	for _, r := range latest.report.Results {
+		if len(r.Summary.PhaseCosts) == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(w, "\n## Phase timelines — %s\n", latest.label)
+			wrote = true
+		}
+		fmt.Fprintf(w, "\n### %s\n\n", r.Spec.Name)
+		fmt.Fprintln(w, "| phase | messages | bits | rounds |")
+		fmt.Fprintln(w, "|---|---|---|---|")
+		for _, pc := range r.Summary.PhaseCosts {
+			fmt.Fprintf(w, "| %d | %d | %d | %d |\n", pc.Phase, pc.Messages, pc.Bits, pc.Rounds)
+		}
+	}
 }
 
 // writeHistoryCSV renders the long-form table: one row per (report,
 // scenario) with every metric, ready for spreadsheet or plotting tools.
 func writeHistoryCSV(w io.Writer, cols []historyColumn) {
-	fmt.Fprintln(w, "artifact,seed,trials,scenario,messages_p50,messages_mean,bits_p50,time_p50,valid,failed")
+	fmt.Fprintln(w, "artifact,seed,trials,scenario,messages_p50,messages_mean,bits_p50,time_p50,valid,failed,phases")
 	for _, c := range cols {
 		for _, r := range c.report.Results {
-			fmt.Fprintf(w, "%s,%d,%d,%s,%d,%.1f,%d,%d,%d,%d\n",
+			fmt.Fprintf(w, "%s,%d,%d,%s,%d,%.1f,%d,%d,%d,%d,%d\n",
 				c.label, c.report.Seed, c.report.Trials, r.Spec.Name,
 				r.Summary.Messages.P50, r.Summary.Messages.Mean,
 				r.Summary.Bits.P50, r.Summary.Time.P50,
-				r.Summary.Valid, r.Summary.Failed)
+				r.Summary.Valid, r.Summary.Failed, len(r.Summary.PhaseCosts))
 		}
 	}
 }

@@ -21,7 +21,11 @@ const sampleReport = `{
         "messages": {"mean": 1000.5, "p50": 990, "p99": 1100, "min": 900, "max": 1100},
         "bits": {"mean": 64000, "p50": 63000, "p99": 70000, "min": 60000, "max": 70000},
         "time": {"mean": 120, "p50": 118, "p99": 130, "min": 110, "max": 130},
-        "valid": 2, "failed": 0
+        "valid": 2, "failed": 0,
+        "phase_costs": [
+          {"phase": 1, "fragments": 128, "merges": 80, "messages": 700, "bits": 44000, "rounds": 60},
+          {"phase": 2, "fragments": 48, "merges": 47, "messages": 300, "bits": 20000, "rounds": 58}
+        ]
       }
     },
     {
@@ -64,6 +68,12 @@ func TestHistoryMarkdown(t *testing.T) {
 		"| scenario | BENCH_abc123 | BENCH_def456 |",
 		"| mst-build/gnm/sync | 990 | 880 |",
 		"| flood/gnm/sync | 400 (1 failed) | 400 (1 failed) |",
+		// Phase timelines come from the newest column only; flood has no
+		// phases and must not get a section.
+		"## Phase timelines — BENCH_def456",
+		"### mst-build/gnm/sync",
+		"| 1 | 700 | 44000 | 60 |",
+		"| 2 | 300 | 20000 | 58 |",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown missing %q:\n%s", want, out)
@@ -85,9 +95,9 @@ func TestHistoryCSV(t *testing.T) {
 	writeHistoryCSV(&buf, cols)
 	out := buf.String()
 	for _, want := range []string{
-		"artifact,seed,trials,scenario,messages_p50,messages_mean,bits_p50,time_p50,valid,failed",
-		"BENCH_abc123,1,2,mst-build/gnm/sync,990,1000.5,63000,118,2,0",
-		"BENCH_abc123,1,2,flood/gnm/sync,400,400.0,3200,9,1,1",
+		"artifact,seed,trials,scenario,messages_p50,messages_mean,bits_p50,time_p50,valid,failed,phases",
+		"BENCH_abc123,1,2,mst-build/gnm/sync,990,1000.5,63000,118,2,0,2",
+		"BENCH_abc123,1,2,flood/gnm/sync,400,400.0,3200,9,1,1,0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("csv missing %q:\n%s", want, out)

@@ -7,8 +7,15 @@
 //
 //	kkt list [--json]
 //	kkt run <scenario> [--trials N] [--seed S] [--workers W] [--shards S] [--json]
+//	        [--obs-listen ADDR] [--obs-hold] [--footprint]
 //	kkt bench [--filter SUBSTR] [--exclude SUBSTRS] [--trials N] [--seed S]
 //	          [--workers W] [--shards S] [--json] [--out FILE] [--quiet]
+//	          [--obs-listen ADDR] [--obs-hold]
+//
+// --obs-listen serves live observability while trials run: JSON snapshots at
+// /timeline, Prometheus text at /metrics, and net/http/pprof at
+// /debug/pprof/. Observation is passive — reports stay byte-identical with
+// it on or off.
 package main
 
 import (
@@ -144,7 +151,10 @@ func cmdList(args []string, stdout, stderr io.Writer) error {
 func cmdRun(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("kkt run", stderr)
 	var rf runFlags
+	var of obsFlags
 	addRunFlags(fs, &rf)
+	addObsFlags(fs, &of)
+	footprint := fs.Bool("footprint", false, "print per-trial driver/heap footprint to stderr after the run")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -161,8 +171,20 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	}
 	reg := harness.Builtin()
 	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers, Shards: rf.shards}
+	var stopObs func()
+	if of.listen != "" {
+		st, stop, err := startObsServer(of.listen, stderr)
+		if err != nil {
+			return err
+		}
+		stopObs = stop
+		cfg.Observe = st.observe
+	}
 	results, err := harness.RunNamed(reg, []string{name}, cfg)
 	if err != nil {
+		if stopObs != nil {
+			stopObs()
+		}
 		return err
 	}
 	if rf.jsonOut {
@@ -172,13 +194,24 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	} else if err := harness.WriteTable(stdout, results); err != nil {
 		return err
 	}
+	if *footprint {
+		printFootprint(stderr, results)
+	}
+	if stopObs != nil {
+		if of.hold {
+			holdObs(stderr)
+		}
+		stopObs()
+	}
 	return reportTrialErrors(stderr, results)
 }
 
 func cmdBench(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("kkt bench", stderr)
 	var rf runFlags
+	var of obsFlags
 	addRunFlags(fs, &rf)
+	addObsFlags(fs, &of)
 	filter := fs.String("filter", "", "only scenarios whose name contains this substring")
 	exclude := fs.String("exclude", "", "skip scenarios whose name contains any of these comma-separated substrings")
 	out := fs.String("out", "BENCH_suite.json", "report file path")
@@ -201,6 +234,15 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("no scenario matches filter %q / exclude %q", *filter, *exclude)
 	}
 	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers, Shards: rf.shards}.Normalized()
+	var stopObs func()
+	if of.listen != "" {
+		st, stop, err := startObsServer(of.listen, stderr)
+		if err != nil {
+			return err
+		}
+		stopObs = stop
+		cfg.Observe = st.observe
+	}
 	total := len(specs) * cfg.Trials
 	var done atomic.Int64
 	if !*quiet {
@@ -211,6 +253,12 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	results := harness.RunAll(specs, cfg)
 	if !*quiet {
 		fmt.Fprintln(stderr)
+	}
+	if stopObs != nil {
+		if of.hold {
+			holdObs(stderr)
+		}
+		stopObs()
 	}
 
 	suite := "builtin"

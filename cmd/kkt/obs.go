@@ -1,0 +1,174 @@
+package main
+
+// The --obs-listen endpoint: live observability for kkt run / kkt bench.
+// One obsv.Recorder is registered per (scenario, trial) as trials start;
+// the HTTP server snapshots them on demand, so serving never blocks or
+// perturbs the engine (recorders are passive — see internal/obsv). This is
+// the substrate the future `kkt serve` UI will attach to.
+//
+// Endpoints:
+//
+//	/timeline     JSON snapshots of every trial's live timeline
+//	/metrics      Prometheus text format
+//	/debug/pprof  net/http/pprof
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+
+	"kkt/internal/congest"
+	"kkt/internal/harness"
+	"kkt/internal/obsv"
+)
+
+// obsFlags are the observability flags shared by run and bench.
+type obsFlags struct {
+	listen string
+	hold   bool
+}
+
+func addObsFlags(fs *flag.FlagSet, of *obsFlags) {
+	fs.StringVar(&of.listen, "obs-listen", "", "serve live observability on this address (JSON /timeline, Prometheus /metrics, pprof /debug/pprof/)")
+	fs.BoolVar(&of.hold, "obs-hold", false, "with --obs-listen: keep serving after the run completes, until interrupted")
+}
+
+// obsState is the live registry behind the endpoints.
+type obsState struct {
+	mu   sync.Mutex
+	recs []*obsv.Recorder
+}
+
+// observe is the harness.RunConfig.Observe hook: one labelled recorder per
+// trial.
+func (st *obsState) observe(spec harness.Spec, trial int) congest.Observer {
+	rec := obsv.NewRecorder(fmt.Sprintf("%s#%d", spec.Name, trial))
+	st.mu.Lock()
+	st.recs = append(st.recs, rec)
+	st.mu.Unlock()
+	return rec
+}
+
+// snapshots returns a consistent snapshot per registered trial, sorted by
+// label so output is stable regardless of worker scheduling.
+func (st *obsState) snapshots() []obsv.Snapshot {
+	st.mu.Lock()
+	recs := append([]*obsv.Recorder(nil), st.recs...)
+	st.mu.Unlock()
+	snaps := make([]obsv.Snapshot, len(recs))
+	for i, r := range recs {
+		snaps[i] = r.Snapshot()
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Label < snaps[j].Label })
+	return snaps
+}
+
+// obsTimeline is the /timeline response shape.
+type obsTimeline struct {
+	Trials []obsv.Snapshot `json:"trials"`
+}
+
+func (st *obsState) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(obsTimeline{Trials: st.snapshots()})
+}
+
+// handleMetrics renders the snapshots in Prometheus text format. Written by
+// hand: the repo takes no dependencies beyond the standard library.
+func (st *obsState) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snaps := st.snapshots()
+	writeHelp := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	writeHelp("kkt_trial_messages_total", "Messages sent by the trial so far.", "counter")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "kkt_trial_messages_total{trial=%q} %d\n", s.Label, s.Messages)
+	}
+	writeHelp("kkt_trial_bits_total", "Bits sent by the trial so far.", "counter")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "kkt_trial_bits_total{trial=%q} %d\n", s.Label, s.Bits)
+	}
+	writeHelp("kkt_trial_rounds", "Scheduler clock of the trial (rounds or virtual time).", "gauge")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "kkt_trial_rounds{trial=%q} %d\n", s.Label, s.Now)
+	}
+	writeHelp("kkt_trial_phases", "Protocol phases started by the trial.", "gauge")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "kkt_trial_phases{trial=%q} %d\n", s.Label, len(s.Phases))
+	}
+	writeHelp("kkt_trial_sessions_opened_total", "Engine sessions opened.", "counter")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "kkt_trial_sessions_opened_total{trial=%q} %d\n", s.Label, s.Sessions.Opened)
+	}
+	writeHelp("kkt_trial_sessions_completed_total", "Engine sessions completed.", "counter")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "kkt_trial_sessions_completed_total{trial=%q} %d\n", s.Label, s.Sessions.Completed)
+	}
+	writeHelp("kkt_trial_repairs_finished_total", "Repair operations finished.", "counter")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "kkt_trial_repairs_finished_total{trial=%q} %d\n", s.Label, s.Repairs.Finished)
+	}
+	writeHelp("kkt_kind_messages_total", "Messages sent, by message kind.", "counter")
+	for _, s := range snaps {
+		for _, kt := range s.ByKind {
+			fmt.Fprintf(w, "kkt_kind_messages_total{trial=%q,kind=%q} %d\n", s.Label, kt.Kind, kt.Messages)
+		}
+	}
+}
+
+// startObsServer binds addr and serves the endpoints until stop is called.
+// Binding happens synchronously so a bad address fails the command instead
+// of racing the run.
+func startObsServer(addr string, stderr io.Writer) (*obsState, func(), error) {
+	st := &obsState{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/timeline", st.handleTimeline)
+	mux.HandleFunc("/metrics", st.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs-listen: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "kkt: observability on http://%s (/timeline, /metrics, /debug/pprof/)\n", ln.Addr())
+	return st, func() { _ = srv.Close() }, nil
+}
+
+// holdObs blocks until SIGINT/SIGTERM — the --obs-hold behavior that lets
+// scrapers inspect a finished run (CI curls the endpoints of a
+// milliseconds-long scenario this way).
+func holdObs(stderr io.Writer) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	fmt.Fprintln(stderr, "kkt: --obs-hold: serving until interrupted")
+	<-sig
+}
+
+// printFootprint surfaces the per-trial driver/heap footprint fields that
+// are deliberately excluded from reports (execution knobs, not protocol
+// observables) — the kkt run --footprint output.
+func printFootprint(stderr io.Writer, results []harness.Result) {
+	for _, res := range results {
+		for _, t := range res.Trials {
+			fmt.Fprintf(stderr, "footprint: %s trial %d: peak_driver_goroutines=%d peak_driver_tasks=%d peak_live_drivers=%d heap_sys_mb=%d\n",
+				res.Spec.Name, t.Trial, t.PeakDriverGoroutines, t.PeakDriverTasks, t.PeakLiveDrivers, t.HeapSysMB)
+		}
+	}
+}

@@ -282,6 +282,11 @@ type Network struct {
 	counters ledger
 	handlers []Handler // indexed by KindID; nil = not registered here
 
+	// obs is the attached trace observer; nil (the default) disables every
+	// hook behind a single nil check per round. See Observer in observer.go
+	// for the callback contract and why the hooks preserve determinism.
+	obs Observer
+
 	// slots is the flat session table, indexed by SessionID.Slot() and
 	// validated by the full packed ID (the serial is the generation
 	// stamp). freeSlots recycles slot indices; serial counts NewSession
@@ -412,6 +417,7 @@ type config struct {
 	async    bool
 	maxDelay int64
 	shards   int
+	obs      Observer
 }
 
 // WithSeed sets the engine's random seed (async delays; protocols draw
@@ -464,6 +470,7 @@ func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 		maxRaw: g.MaxRaw,
 		rng:    rng.New(cfg.seed),
 		budget: g.Layout.MessageBudget,
+		obs:    cfg.obs,
 	}
 	deg := make([]int, g.N+1)
 	for _, e := range g.Edges() {
@@ -706,6 +713,9 @@ func (nw *Network) NewSession(onQuiescence func() (any, error)) SessionID {
 	if onQuiescence != nil {
 		nw.quiescent = append(nw.quiescent, sid)
 	}
+	if nw.obs != nil {
+		nw.obs.SessionOpen(nw.serial, nw.sched.now())
+	}
 	return sid
 }
 
@@ -737,6 +747,12 @@ func (nw *Network) completeSession(sid SessionID, w Wake) {
 	}
 	if s.completed {
 		panic(fmt.Sprintf("congest: session %d completed twice", sid))
+	}
+	if nw.obs != nil {
+		// Lane-deferred completions reached this root path via the ordered
+		// merge, so the hook fires on the engine goroutine in
+		// single-threaded order at any shard count.
+		nw.obs.SessionDone(sid.Serial(), nw.sched.now(), w.err != nil)
 	}
 	if s.waiter != nil {
 		// The parked driver receives the result directly through its

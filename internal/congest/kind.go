@@ -2,6 +2,7 @@ package congest
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -15,12 +16,18 @@ type KindID int32
 
 // kindReg is the process-wide intern table. Interning happens at package
 // init and test setup, never on the per-message hot path, so a mutex is
-// fine.
+// fine. Alongside each kind it interns the kind's class — the name's
+// dot-prefix ("tree.up" -> "tree"), the granularity phase timelines report
+// at — so class lookup is an array index, never string slicing, at
+// observation time.
 var kindReg = struct {
 	sync.RWMutex
-	names []string
-	index map[string]KindID
-}{index: make(map[string]KindID)}
+	names      []string
+	index      map[string]KindID
+	classOf    []int32 // per KindID: index into classNames
+	classNames []string
+	classIndex map[string]int32
+}{index: make(map[string]KindID), classIndex: make(map[string]int32)}
 
 // Kind interns a message-kind name and returns its stable ID. Repeated
 // calls with the same name return the same ID. Names must be non-empty.
@@ -42,7 +49,38 @@ func Kind(name string) KindID {
 	id = KindID(len(kindReg.names))
 	kindReg.names = append(kindReg.names, name)
 	kindReg.index[name] = id
+	class := name
+	if dot := strings.IndexByte(name, '.'); dot > 0 {
+		class = name[:dot]
+	}
+	cid, ok := kindReg.classIndex[class]
+	if !ok {
+		cid = int32(len(kindReg.classNames))
+		kindReg.classNames = append(kindReg.classNames, class)
+		kindReg.classIndex[class] = cid
+	}
+	kindReg.classOf = append(kindReg.classOf, cid)
 	return id
+}
+
+// kindClassTable returns the class index (per KindID) and the class names.
+// The returned slices are intern-table snapshots: existing elements are
+// write-once, so reading them without the lock held is safe even if later
+// Kind calls append.
+func kindClassTable() (classOf []int32, classNames []string) {
+	kindReg.RLock()
+	defer kindReg.RUnlock()
+	return kindReg.classOf, kindReg.classNames
+}
+
+// KindClassName returns the class name (dot-prefix) of an interned kind.
+func KindClassName(k KindID) string {
+	kindReg.RLock()
+	defer kindReg.RUnlock()
+	if k < 0 || int(k) >= len(kindReg.classOf) {
+		return fmt.Sprintf("KindID(%d)", int32(k))
+	}
+	return kindReg.classNames[kindReg.classOf[k]]
 }
 
 // String returns the interned name, implementing fmt.Stringer.

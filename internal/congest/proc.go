@@ -370,18 +370,28 @@ func (nw *Network) Run() error {
 			// to the determinism contract.
 			if se != nil && len(batch) >= shardMinBatch {
 				nw.deliverSharded(se, batch)
-				continue
-			}
-			for i, m := range batch {
-				h := nw.handlers[m.Kind] // non-nil: Send checks registration
-				node := nw.nodes[m.To]
-				if node.edgePos(m.From) >= 0 {
-					h(nw, node, m)
+			} else {
+				for i, m := range batch {
+					h := nw.handlers[m.Kind] // non-nil: Send checks registration
+					node := nw.nodes[m.To]
+					if node.edgePos(m.From) >= 0 {
+						h(nw, node, m)
+					}
+					// else: the link vanished while the message was in flight
+					// (dynamic deletion). The model drops it.
+					nw.putMessage(m)
+					batch[i] = nil
 				}
-				// else: the link vanished while the message was in flight
-				// (dynamic deletion). The model drops it.
-				nw.putMessage(m)
-				batch[i] = nil
+			}
+			if nw.obs != nil {
+				// The batch is fully applied (sharded rounds: lanes merged
+				// and counter blocks folded), so the observer sees the exact
+				// single-threaded ledger values.
+				var load []uint64
+				if se != nil {
+					load = se.load
+				}
+				nw.observeRound(load)
 			}
 			continue
 		}

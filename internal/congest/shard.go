@@ -47,6 +47,10 @@ type shardLane struct {
 	counters ledger
 	msgFree  []*Message
 	out      *shard.Outbox[laneOp]
+	// handled counts the messages this shard's handlers processed during
+	// the round; folded into shardEngine.load at the barrier so observers
+	// see per-shard work attribution without touching worker state.
+	handled  uint64
 	panicked bool
 	panicVal any
 }
@@ -75,6 +79,9 @@ type shardEngine struct {
 	// owner is the destination shard per batch index this round; uint16
 	// covers the partition's 1024-shard cap.
 	owner []uint16
+	// load is the cumulative handled-message count per shard, folded from
+	// the lanes at each barrier alongside the counter blocks.
+	load []uint64
 }
 
 // ensureShardEngine builds (or refreshes) the sharded executor at Run
@@ -89,6 +96,7 @@ func (nw *Network) ensureShardEngine() *shardEngine {
 			views: make([]*Network, nw.shards),
 			lanes: make([]*shardLane, nw.shards),
 			sub:   make([][]subMsg, nw.shards),
+			load:  make([]uint64, nw.shards),
 		}
 		for s := 0; s < nw.shards; s++ {
 			se.lanes[s] = &shardLane{id: s, out: &se.out}
@@ -150,9 +158,11 @@ func (nw *Network) deliverSharded(se *shardEngine, batch []*Message) {
 		op.m.seq = nw.nextSeq
 		nw.sched.schedule(op.m, nil)
 	})
-	for _, l := range se.lanes {
+	for i, l := range se.lanes {
 		nw.counters.merge(&l.counters)
 		l.counters.reset()
+		se.load[i] += l.handled
+		l.handled = 0
 	}
 	// Message structs flow one way by default: driver sends draw from the
 	// root free list, deliveries recycle into lane lists. Top the root
@@ -192,6 +202,7 @@ func (se *shardEngine) runShard(s int) {
 		node := v.nodes[m.To]
 		if node.edgePos(m.From) >= 0 {
 			h(v, node, m)
+			l.handled++
 		}
 		// else: the link vanished while the message was in flight.
 		v.putMessage(m)

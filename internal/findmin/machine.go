@@ -211,12 +211,20 @@ func (m *Machine) narrow() (congest.SessionID, bool, error) {
 
 func (m *Machine) done() (congest.SessionID, bool, error) {
 	m.st = msDone
+	// Machines step in driver context, so the lifecycle tally is emitted on
+	// the engine goroutine in deterministic order.
+	if o := m.pr.Network().Obs(); o != nil {
+		o.Count("findmin."+m.res.Reason.String(), 1)
+	}
 	return 0, true, m.err
 }
 
 func (m *Machine) fail(err error) (congest.SessionID, bool, error) {
 	m.err = err
 	m.st = msDone
+	if o := m.pr.Network().Obs(); o != nil {
+		o.Count("findmin.error", 1)
+	}
 	return 0, true, err
 }
 

@@ -120,13 +120,29 @@ func Attach(nw *congest.Network) *Protocol {
 	return g
 }
 
-// BuildResult reports a GHS run.
-type BuildResult struct {
-	Forest   [][2]congest.NodeID
-	Phases   int
+// PhaseStat records one GHS phase.
+type PhaseStat struct {
+	// Fragments is the number of fragments at the start of the phase;
+	// Merges the number whose minimum-outgoing-edge search succeeded.
+	Fragments int
+	Merges    int
+	// Messages, Bits and Rounds are the phase's cost; Classes breaks it
+	// down by kind class (sorted by class name).
 	Messages uint64
 	Bits     uint64
 	Rounds   int64
+	Classes  []congest.ClassCost
+}
+
+// BuildResult reports a GHS run.
+type BuildResult struct {
+	Forest [][2]congest.NodeID
+	Phases int
+	// PhaseStats has one entry per executed phase (len == Phases).
+	PhaseStats []PhaseStat
+	Messages   uint64
+	Bits       uint64
+	Rounds     int64
 }
 
 // Build constructs the minimum spanning forest deterministically, driving
@@ -143,10 +159,12 @@ func BuildDrivers(nw *congest.Network, pr *tree.Protocol, g *Protocol, mode cong
 	nw.Spawn("ghs", func(p *congest.Proc) error {
 		var scratch congest.FanoutScratch[bool]
 		var drivers []*fragDriver
+		var meter congest.PhaseMeter
 		for phase := 1; ; phase++ {
 			if phase > maxPhases {
 				return fmt.Errorf("ghs: exceeded %d phases — not converging", maxPhases)
 			}
+			meter.Begin(nw)
 			elect, err := pr.ElectAll(p)
 			if err != nil {
 				return err
@@ -155,6 +173,10 @@ func BuildDrivers(nw *congest.Network, pr *tree.Protocol, g *Protocol, mode cong
 				return fmt.Errorf("ghs: cycle in marked subgraph at phase %d", phase)
 			}
 			result.Phases = phase
+			stat := PhaseStat{Fragments: len(elect.Leaders)}
+			if o := nw.Obs(); o != nil {
+				o.PhaseStart("ghs", phase, stat.Fragments, nw.Now())
+			}
 			merged := scratch.Outcomes(len(elect.Leaders))
 			if mode == congest.DriverGoroutine {
 				procs := scratch.Procs()
@@ -199,6 +221,14 @@ func BuildDrivers(nw *congest.Network, pr *tree.Protocol, g *Protocol, mode cong
 				if m {
 					merges++
 				}
+			}
+			stat.Merges = merges
+			cost := meter.End()
+			stat.Messages, stat.Bits, stat.Rounds = cost.Messages, cost.Bits, cost.Rounds
+			stat.Classes = cost.Classes
+			result.PhaseStats = append(result.PhaseStats, stat)
+			if o := nw.Obs(); o != nil {
+				o.PhaseEnd("ghs", phase, nw.Now(), cost)
 			}
 			if merges == 0 {
 				return nil // every fragment is maximal: done, deterministically

@@ -29,9 +29,11 @@ type TrialMetrics struct {
 	// PeakLiveDrivers is the peak of concurrently-unfinished drivers of
 	// both models (the fragment fan-out width).
 	PeakLiveDrivers int `json:"-"`
-	// HeapSysMB is the Go heap footprint (runtime.MemStats.HeapSys) right
-	// after the trial, in MiB. Process-global, so only meaningful for
-	// single-trial runs like make bench-1m.
+	// HeapSysMB is the growth of the Go heap footprint
+	// (runtime.MemStats.HeapSys) across the trial, in MiB: the after-trial
+	// sample minus the before-trial sample, clamped at zero. A delta rather
+	// than a process-global level, so multi-trial runs report a meaningful
+	// per-trial figure (later trials reusing warmed allocations report ~0).
 	HeapSysMB uint64 `json:"-"`
 
 	// Messages/Bits are the congest counters over the measured section
@@ -43,6 +45,12 @@ type TrialMetrics struct {
 
 	// Phases is the number of Borůvka phases (build algorithms only).
 	Phases int `json:"phases,omitempty"`
+	// PhaseCosts is the per-phase cost timeline (build algorithms only):
+	// messages/bits/rounds per phase, broken down by kind class. Computed
+	// unconditionally from ledger deltas at phase boundaries — never from
+	// an observer — so reports stay byte-identical with observation on or
+	// off.
+	PhaseCosts []PhaseCost `json:"phase_costs,omitempty"`
 	// ForestEdges is the size of the final maintained forest.
 	ForestEdges int `json:"forest_edges"`
 	// Valid reports the reference check: exact MSF (weighted) or maximal
@@ -57,6 +65,17 @@ type TrialMetrics struct {
 	StagedDrops uint64 `json:"staged_drops,omitempty"`
 	// Error is set when the trial failed outright.
 	Error string `json:"error,omitempty"`
+}
+
+// PhaseCost is one entry of a trial's per-phase cost timeline.
+type PhaseCost struct {
+	Phase     int                 `json:"phase"`
+	Fragments int                 `json:"fragments"`
+	Merges    int                 `json:"merges"`
+	Messages  uint64              `json:"messages"`
+	Bits      uint64              `json:"bits"`
+	Rounds    int64               `json:"rounds"`
+	Classes   []congest.ClassCost `json:"classes,omitempty"`
 }
 
 // Aggregate summarizes one metric across trials. Percentiles are
@@ -113,6 +132,10 @@ type Summary struct {
 	StagedDrops uint64 `json:"staged_drops,omitempty"`
 	// ByKind sums message traffic per kind across successful trials.
 	ByKind map[string]congest.KindCount `json:"by_kind,omitempty"`
+	// PhaseCosts sums the per-phase timelines across successful trials,
+	// element-wise by phase index (trials of one scenario run the same
+	// algorithm, so phase i means the same thing in each).
+	PhaseCosts []PhaseCost `json:"phase_costs,omitempty"`
 }
 
 // summarize aggregates trials in index order (deterministic for a fixed
@@ -150,9 +173,46 @@ func summarize(trials []TrialMetrics, byKind []map[string]congest.KindCount) Sum
 				sum.ByKind[k] = agg
 			}
 		}
+		sum.PhaseCosts = addPhaseCosts(sum.PhaseCosts, t.PhaseCosts)
 	}
 	sum.Messages = aggregate(msgs)
 	sum.Bits = aggregate(bits)
 	sum.Time = aggregate(times)
 	return sum
+}
+
+// addPhaseCosts folds one trial's timeline into the running sum,
+// element-wise by phase index; class breakdowns merge by class name and
+// stay sorted.
+func addPhaseCosts(sum, trial []PhaseCost) []PhaseCost {
+	for i, pc := range trial {
+		for len(sum) <= i {
+			sum = append(sum, PhaseCost{Phase: len(sum) + 1})
+		}
+		s := &sum[i]
+		s.Fragments += pc.Fragments
+		s.Merges += pc.Merges
+		s.Messages += pc.Messages
+		s.Bits += pc.Bits
+		s.Rounds += pc.Rounds
+		s.Classes = mergeClassCosts(s.Classes, pc.Classes)
+	}
+	return sum
+}
+
+// mergeClassCosts adds the per-class tallies of b into a (both sorted by
+// class name) and returns the sorted union.
+func mergeClassCosts(a, b []congest.ClassCost) []congest.ClassCost {
+	for _, cc := range b {
+		i := sort.Search(len(a), func(i int) bool { return a[i].Class >= cc.Class })
+		if i < len(a) && a[i].Class == cc.Class {
+			a[i].Messages += cc.Messages
+			a[i].Bits += cc.Bits
+			continue
+		}
+		a = append(a, congest.ClassCost{})
+		copy(a[i+1:], a[i:])
+		a[i] = cc
+	}
+	return a
 }

@@ -29,6 +29,12 @@ type RunConfig struct {
 	// worker goroutines; must be safe for concurrent use). For progress
 	// reporting.
 	OnTrialDone func(spec Spec, trial int)
+	// Observe, if set, supplies a trace observer per trial (called from
+	// worker goroutines before the trial starts; must be safe for
+	// concurrent use). Observers are passive: reports stay byte-identical
+	// whether Observe is set or not. Return nil to leave a trial
+	// unobserved.
+	Observe func(spec Spec, trial int) congest.Observer
 }
 
 // Normalized returns the config with unset or out-of-range fields
@@ -84,7 +90,11 @@ func RunAll(specs []Spec, cfg RunConfig) []Result {
 			for j := range jobs {
 				spec := specs[j.si]
 				seed := trialSeed(cfg.Seed, spec.Name, j.ti)
-				m, kinds, err := RunTrialShards(spec, seed, cfg.Shards)
+				var obs congest.Observer
+				if cfg.Observe != nil {
+					obs = cfg.Observe(spec, j.ti)
+				}
+				m, kinds, err := RunTrialObserved(spec, seed, cfg.Shards, congest.DriverCont, obs)
 				m.Trial = j.ti
 				m.Seed = seed
 				if err != nil {

@@ -82,7 +82,15 @@ func RunTrialShards(spec Spec, seed uint64, shards int) (TrialMetrics, map[strin
 // identifies the trial. Specs must already be validated (registry
 // scenarios are). Protocol panics are converted to errors so one bad
 // trial cannot take down a bench sweep.
-func RunTrialDrivers(spec Spec, seed uint64, shards int, drivers congest.DriverMode) (m TrialMetrics, byKind map[string]congest.KindCount, err error) {
+func RunTrialDrivers(spec Spec, seed uint64, shards int, drivers congest.DriverMode) (TrialMetrics, map[string]congest.KindCount, error) {
+	return RunTrialObserved(spec, seed, shards, drivers, nil)
+}
+
+// RunTrialObserved is RunTrialDrivers with an optional trace observer
+// attached to the trial's network (nil disables observation). The observer
+// is passive — metrics and reports are byte-identical with it on or off;
+// see congest.Observer.
+func RunTrialObserved(spec Spec, seed uint64, shards int, drivers congest.DriverMode, obs congest.Observer) (m TrialMetrics, byKind map[string]congest.KindCount, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("harness: trial panicked: %v", r)
@@ -92,6 +100,7 @@ func RunTrialDrivers(spec Spec, seed uint64, shards int, drivers congest.DriverM
 		shards = 1
 	}
 	s := spec.withDefaults()
+	heapBefore := heapSysNow()
 	r := rng.New(seed)
 	g := buildGraph(s, r.Split(), shards)
 
@@ -101,6 +110,9 @@ func RunTrialDrivers(spec Spec, seed uint64, shards int, drivers congest.DriverM
 		opts = append(opts, congest.WithAsync(s.MaxDelay))
 	} else if shards > 1 {
 		opts = append(opts, congest.WithShards(shards))
+	}
+	if obs != nil {
+		opts = append(opts, congest.WithObserver(obs))
 	}
 	nw := congest.NewNetwork(g, opts...)
 	pr := tree.Attach(nw)
@@ -120,6 +132,7 @@ func RunTrialDrivers(spec Spec, seed uint64, shards int, drivers congest.DriverM
 		}
 		m.Messages, m.Bits, m.Time = res.Messages, res.Bits, res.Rounds
 		m.Phases = len(res.Phases)
+		m.PhaseCosts = phaseCostsMST(res.Phases)
 		m.ForestEdges = len(res.Forest)
 		m.Valid = spanning.IsMSF(g, forestIndices(g, res.Forest)) == nil
 	case AlgoGHS:
@@ -130,6 +143,7 @@ func RunTrialDrivers(spec Spec, seed uint64, shards int, drivers congest.DriverM
 		}
 		m.Messages, m.Bits, m.Time = res.Messages, res.Bits, res.Rounds
 		m.Phases = res.Phases
+		m.PhaseCosts = phaseCostsGHS(res.PhaseStats)
 		m.ForestEdges = len(res.Forest)
 		m.Valid = spanning.IsMSF(g, forestIndices(g, res.Forest)) == nil
 	case AlgoSTBuild:
@@ -142,6 +156,7 @@ func RunTrialDrivers(spec Spec, seed uint64, shards int, drivers congest.DriverM
 		}
 		m.Messages, m.Bits, m.Time = res.Messages, res.Bits, res.Rounds
 		m.Phases = len(res.Phases)
+		m.PhaseCosts = phaseCostsST(res.Phases)
 		m.ForestEdges = len(res.Forest)
 		m.Valid = spanning.IsSpanningForest(g, forestIndices(g, res.Forest)) == nil
 	case AlgoFlood:
@@ -154,35 +169,73 @@ func RunTrialDrivers(spec Spec, seed uint64, shards int, drivers congest.DriverM
 		m.ForestEdges = len(res.Forest)
 		m.Valid = spanning.IsSpanningForest(g, forestIndices(g, res.Forest)) == nil
 	case AlgoMSTRepair:
-		return runRepairStorm(s, nw, pr, g, r, seed, shards, true)
+		return runRepairStorm(s, nw, pr, g, r, seed, shards, true, heapBefore)
 	case AlgoSTRepair:
-		return runRepairStorm(s, nw, pr, g, r, seed, shards, false)
+		return runRepairStorm(s, nw, pr, g, r, seed, shards, false, heapBefore)
 	default:
 		return m, nil, fmt.Errorf("harness: unknown algorithm %q", s.Algo)
 	}
 	m.StagedDrops = nw.StagedDrops()
-	captureFootprint(&m, nw)
+	captureFootprint(&m, nw, heapBefore)
 	return m, nw.Counters().ByKind, nil
+}
+
+// phaseCostsMST/phaseCostsST/phaseCostsGHS map the protocol layers'
+// per-phase statistics onto the serialized timeline.
+func phaseCostsMST(phases []mst.PhaseStat) []PhaseCost {
+	out := make([]PhaseCost, len(phases))
+	for i, ps := range phases {
+		out[i] = PhaseCost{Phase: i + 1, Fragments: ps.Fragments, Merges: ps.Merges,
+			Messages: ps.Messages, Bits: ps.Bits, Rounds: ps.Rounds, Classes: ps.Classes}
+	}
+	return out
+}
+
+func phaseCostsST(phases []st.PhaseStat) []PhaseCost {
+	out := make([]PhaseCost, len(phases))
+	for i, ps := range phases {
+		out[i] = PhaseCost{Phase: i + 1, Fragments: ps.Fragments, Merges: ps.Merges,
+			Messages: ps.Messages, Bits: ps.Bits, Rounds: ps.Rounds, Classes: ps.Classes}
+	}
+	return out
+}
+
+func phaseCostsGHS(phases []ghs.PhaseStat) []PhaseCost {
+	out := make([]PhaseCost, len(phases))
+	for i, ps := range phases {
+		out[i] = PhaseCost{Phase: i + 1, Fragments: ps.Fragments, Merges: ps.Merges,
+			Messages: ps.Messages, Bits: ps.Bits, Rounds: ps.Rounds, Classes: ps.Classes}
+	}
+	return out
+}
+
+// heapSysNow samples the Go heap footprint (runtime.MemStats.HeapSys).
+func heapSysNow() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapSys
 }
 
 // captureFootprint records the trial's driver and heap high-water marks —
 // the non-serialized TrialMetrics fields gating the continuation driver
-// model's memory claim.
-func captureFootprint(m *TrialMetrics, nw *congest.Network) {
+// model's memory claim. HeapSysMB is the trial's own heap growth: the
+// delta from the before-trial sample, clamped at zero (a shrinking heap —
+// scavenged pages returned mid-run — reports 0, not an underflowed value).
+func captureFootprint(m *TrialMetrics, nw *congest.Network, heapBefore uint64) {
 	ds := nw.DriverStats()
 	m.PeakDriverGoroutines = ds.PeakGoroutines
 	m.PeakDriverTasks = ds.PeakTasks
 	m.PeakLiveDrivers = ds.PeakLive
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	m.HeapSysMB = ms.HeapSys >> 20
+	if after := heapSysNow(); after > heapBefore {
+		m.HeapSysMB = (after - heapBefore) >> 20
+	}
 }
 
 // runRepairStorm seeds the network with the reference forest (setup is
 // uncharged, like the paper's "a spanning forest is maintained"
 // precondition), then applies the fault script in seeded random order and
 // meters only the repair traffic.
-func runRepairStorm(s Spec, nw *congest.Network, pr *tree.Protocol, g *graph.Graph, r *rng.RNG, seed uint64, shards int, weighted bool) (TrialMetrics, map[string]congest.KindCount, error) {
+func runRepairStorm(s Spec, nw *congest.Network, pr *tree.Protocol, g *graph.Graph, r *rng.RNG, seed uint64, shards int, weighted bool, heapBefore uint64) (TrialMetrics, map[string]congest.KindCount, error) {
 	m := TrialMetrics{Seed: seed, Shards: shards, Actions: make(map[string]int)}
 
 	var refForest []int
@@ -276,7 +329,7 @@ func runRepairStorm(s Spec, nw *congest.Network, pr *tree.Protocol, g *graph.Gra
 	m.Messages, m.Bits = delta.Messages, delta.Bits
 	m.Time = nw.Now() - baseTime
 	m.StagedDrops = nw.StagedDrops()
-	captureFootprint(&m, nw)
+	captureFootprint(&m, nw, heapBefore)
 
 	// Reference check against the final (mutated) topology.
 	final, marked := graphFromNetwork(nw)

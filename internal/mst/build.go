@@ -86,9 +86,12 @@ type PhaseStat struct {
 	Empties int
 	// GaveUps counts FindMin-C runs that hit their iteration cap.
 	GaveUps int
-	// Messages and Rounds are the phase's cost.
+	// Messages, Bits and Rounds are the phase's cost; Classes breaks it
+	// down by kind class (sorted by class name).
 	Messages uint64
+	Bits     uint64
 	Rounds   int64
+	Classes  []congest.ClassCost
 }
 
 // BuildResult reports a Build run.
@@ -124,8 +127,9 @@ func Build(nw *congest.Network, pr *tree.Protocol, cfg BuildConfig) (BuildResult
 	nw.Spawn("boruvka", func(p *congest.Proc) error {
 		var scratch congest.FanoutScratch[findmin.Reason]
 		var drivers []*fragDriver
+		var meter congest.PhaseMeter
 		for phase := 1; phase <= maxPhases; phase++ {
-			stat, err := runPhase(p, nw, pr, cfg, phase, &scratch, &drivers)
+			stat, err := runPhase(p, nw, pr, cfg, phase, &meter, &scratch, &drivers)
 			if err != nil {
 				return err
 			}
@@ -197,9 +201,8 @@ func (d *fragDriver) Step(t *congest.Task, w congest.Wake) (congest.SessionID, b
 // runPhase executes one Borůvka phase: elect leaders, run FindMin-C per
 // fragment concurrently, broadcast Add-Edge for the found edges, then
 // synchronise and apply the staged marks.
-func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg BuildConfig, phase int, scratch *congest.FanoutScratch[findmin.Reason], drivers *[]*fragDriver) (PhaseStat, error) {
-	startMsgs := nw.Counters().Messages
-	startRounds := nw.Now()
+func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg BuildConfig, phase int, meter *congest.PhaseMeter, scratch *congest.FanoutScratch[findmin.Reason], drivers *[]*fragDriver) (PhaseStat, error) {
+	meter.Begin(nw)
 
 	elect, err := pr.ElectAll(p)
 	if err != nil {
@@ -209,6 +212,9 @@ func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg Build
 		return PhaseStat{}, fmt.Errorf("mst: cycle in marked subgraph at phase %d (nodes %v)", phase, elect.CycleNodes)
 	}
 	stat := PhaseStat{Fragments: len(elect.Leaders)}
+	if o := nw.Obs(); o != nil {
+		o.PhaseStart("mst", phase, stat.Fragments, nw.Now())
+	}
 
 	outcomes := scratch.Outcomes(len(elect.Leaders))
 	if cfg.Drivers == congest.DriverGoroutine {
@@ -266,9 +272,12 @@ func runPhase(p *congest.Proc, nw *congest.Network, pr *tree.Protocol, cfg Build
 			stat.GaveUps++
 		}
 	}
-	c := nw.Counters()
-	stat.Messages = c.Messages - startMsgs
-	stat.Rounds = nw.Now() - startRounds
+	cost := meter.End()
+	stat.Messages, stat.Bits, stat.Rounds = cost.Messages, cost.Bits, cost.Rounds
+	stat.Classes = cost.Classes
+	if o := nw.Obs(); o != nil {
+		o.PhaseEnd("mst", phase, nw.Now(), cost)
+	}
 	return stat, nil
 }
 

@@ -80,6 +80,21 @@ func DefaultRepair(seed uint64) RepairConfig {
 	return RepairConfig{Seed: seed, FindMin: findmin.Defaults(findmin.Full)}
 }
 
+// obsRepairStart/obsRepairDone bracket a repair operation for the attached
+// observer (no-ops when none): the round-latency and cost reported are the
+// same deltas the returned Report carries.
+func obsRepairStart(nw *congest.Network, op string) {
+	if o := nw.Obs(); o != nil {
+		o.RepairStart(op, nw.Now())
+	}
+}
+
+func obsRepairDone(nw *congest.Network, op string, rep Report) {
+	if o := nw.Obs(); o != nil {
+		o.RepairDone(op, rep.Action.String(), nw.Now(), rep.Time, rep.Messages, rep.Bits)
+	}
+}
+
 // Delete processes the deletion of link {a,b} (paper §3.2 Delete(u,v)):
 // the link is removed from the topology; if it was a tree edge, the
 // smaller-ID endpoint initiates FindMin over its remaining tree and marks
@@ -92,8 +107,11 @@ func Delete(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg Rep
 	if !existed {
 		return Report{}, fmt.Errorf("mst: delete of non-existent link {%d,%d}", a, b)
 	}
+	obsRepairStart(nw, "mst.delete")
 	if !wasMarked {
-		return Report{Action: NoOp}, nil
+		rep := Report{Action: NoOp}
+		obsRepairDone(nw, "mst.delete", rep)
+		return rep, nil
 	}
 	u := a
 	if b < u {
@@ -130,6 +148,7 @@ func Delete(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg Rep
 	rep.Messages = c.Messages
 	rep.Bits = c.Bits
 	rep.Time = nw.Now() - beforeTime
+	obsRepairDone(nw, "mst.delete", rep)
 	return rep, nil
 }
 
@@ -142,14 +161,16 @@ func Insert(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, raw uin
 	if err := nw.InsertLink(a, b, raw); err != nil {
 		return Report{}, err
 	}
-	return settleUnmarked(nw, pr, a, b)
+	return settleUnmarked(nw, pr, a, b, "mst.insert")
 }
 
 // settleUnmarked restores the MSF invariant given that the (existing,
-// unmarked) link {a,b} may now belong in the forest.
-func settleUnmarked(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID) (Report, error) {
+// unmarked) link {a,b} may now belong in the forest. op labels the
+// enclosing operation for observers.
+func settleUnmarked(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, op string) (Report, error) {
 	before := nw.Counters()
 	beforeTime := nw.Now()
+	obsRepairStart(nw, op)
 	u, v := a, b
 	if v < u {
 		u, v = v, u
@@ -192,6 +213,7 @@ func settleUnmarked(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID)
 	rep.Messages = c.Messages
 	rep.Bits = c.Bits
 	rep.Time = nw.Now() - beforeTime
+	obsRepairDone(nw, op, rep)
 	return rep, nil
 }
 
@@ -221,11 +243,14 @@ func WeightChange(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, n
 		return rep, err
 	case !wasMarked && newRaw < oldRaw:
 		// Decrease on a non-tree edge: like an insertion.
-		return settleUnmarked(nw, pr, a, b)
+		return settleUnmarked(nw, pr, a, b, "mst.reweight")
 	default:
 		// Decrease on a tree edge / increase on a non-tree edge: the MSF
 		// is unchanged.
-		return Report{Action: NoOp}, nil
+		rep := Report{Action: NoOp}
+		obsRepairStart(nw, "mst.reweight")
+		obsRepairDone(nw, "mst.reweight", rep)
+		return rep, nil
 	}
 }
 
@@ -234,6 +259,7 @@ func WeightChange(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, n
 func deleteStyleRepair(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg RepairConfig) (Report, error) {
 	before := nw.Counters()
 	beforeTime := nw.Now()
+	obsRepairStart(nw, "mst.reweight")
 	u := a
 	if b < u {
 		u = b
@@ -269,6 +295,7 @@ func deleteStyleRepair(nw *congest.Network, pr *tree.Protocol, a, b congest.Node
 	rep.Messages = c.Messages
 	rep.Bits = c.Bits
 	rep.Time = nw.Now() - beforeTime
+	obsRepairDone(nw, "mst.reweight", rep)
 	return rep, nil
 }
 

@@ -65,6 +65,20 @@ func DefaultRepair(seed uint64) RepairConfig {
 	return RepairConfig{Seed: seed, FindAny: findany.Defaults(findany.Full)}
 }
 
+// obsRepairStart/obsRepairDone bracket a repair operation for the attached
+// observer (no-ops when none).
+func obsRepairStart(nw *congest.Network, op string) {
+	if o := nw.Obs(); o != nil {
+		o.RepairStart(op, nw.Now())
+	}
+}
+
+func obsRepairDone(nw *congest.Network, op string, rep Report) {
+	if o := nw.Obs(); o != nil {
+		o.RepairDone(op, rep.Action.String(), nw.Now(), rep.Time, rep.Messages, rep.Bits)
+	}
+}
+
 // Delete processes the deletion of link {a,b} for a maintained spanning
 // forest (paper §4.3): if it was a tree edge, the smaller-ID endpoint
 // finds any replacement with FindAny. Expected O(n) messages.
@@ -75,8 +89,11 @@ func Delete(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg Rep
 	if !existed {
 		return Report{}, fmt.Errorf("st: delete of non-existent link {%d,%d}", a, b)
 	}
+	obsRepairStart(nw, "st.delete")
 	if !wasMarked {
-		return Report{Action: NoOp}, nil
+		rep := Report{Action: NoOp}
+		obsRepairDone(nw, "st.delete", rep)
+		return rep, nil
 	}
 	u := a
 	if b < u {
@@ -113,6 +130,7 @@ func Delete(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg Rep
 	rep.Messages = c.Messages
 	rep.Bits = c.Bits
 	rep.Time = nw.Now() - beforeTime
+	obsRepairDone(nw, "st.delete", rep)
 	return rep, nil
 }
 
@@ -126,6 +144,7 @@ func Insert(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg Rep
 	}
 	before := nw.Counters()
 	beforeTime := nw.Now()
+	obsRepairStart(nw, "st.insert")
 	u, v := a, b
 	if v < u {
 		u, v = v, u
@@ -155,6 +174,7 @@ func Insert(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg Rep
 	rep.Messages = c.Messages
 	rep.Bits = c.Bits
 	rep.Time = nw.Now() - beforeTime
+	obsRepairDone(nw, "st.insert", rep)
 	return rep, nil
 }
 

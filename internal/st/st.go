@@ -89,7 +89,9 @@ type PhaseStat struct {
 	CyclesBroken int // cycles broken by the random-exclusion round
 	CyclesWiped  int // cycles whose every edge was unmarked
 	Messages     uint64
+	Bits         uint64
 	Rounds       int64
+	Classes      []congest.ClassCost // per-kind-class cost breakdown
 }
 
 // BuildResult reports a Build run.
@@ -120,8 +122,9 @@ func Build(nw *congest.Network, pr *tree.Protocol, sp *Protocol, cfg BuildConfig
 	nw.Spawn("boruvka-st", func(p *congest.Proc) error {
 		var scratch congest.FanoutScratch[findany.Reason]
 		var drivers []*fragDriver
+		var meter congest.PhaseMeter
 		for phase := 1; phase <= maxPhases; phase++ {
-			stat, err := sp.runPhase(p, pr, cfg, phase, &scratch, &drivers)
+			stat, err := sp.runPhase(p, pr, cfg, phase, &meter, &scratch, &drivers)
 			if err != nil {
 				return err
 			}
@@ -185,10 +188,9 @@ func (d *fragDriver) Step(t *congest.Task, w congest.Wake) (congest.SessionID, b
 
 // runPhase: detect and break cycles left by the previous phase's merges,
 // then elect leaders and run FindAny-C per fragment.
-func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig, phase int, scratch *congest.FanoutScratch[findany.Reason], drivers *[]*fragDriver) (PhaseStat, error) {
+func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig, phase int, meter *congest.PhaseMeter, scratch *congest.FanoutScratch[findany.Reason], drivers *[]*fragDriver) (PhaseStat, error) {
 	nw := sp.nw
-	startMsgs := nw.Counters().Messages
-	startRounds := nw.Now()
+	meter.Begin(nw)
 	var stat PhaseStat
 
 	elect, err := pr.ElectAll(p)
@@ -226,6 +228,9 @@ func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig
 		stat.CyclesBroken = nBefore - stat.CyclesWiped
 	}
 	stat.Fragments = len(elect.Leaders)
+	if o := nw.Obs(); o != nil {
+		o.PhaseStart("st", phase, stat.Fragments, nw.Now())
+	}
 
 	outcomes := scratch.Outcomes(len(elect.Leaders))
 	if cfg.Drivers == congest.DriverGoroutine {
@@ -279,9 +284,12 @@ func (sp *Protocol) runPhase(p *congest.Proc, pr *tree.Protocol, cfg BuildConfig
 			stat.GaveUps++
 		}
 	}
-	c := nw.Counters()
-	stat.Messages = c.Messages - startMsgs
-	stat.Rounds = nw.Now() - startRounds
+	cost := meter.End()
+	stat.Messages, stat.Bits, stat.Rounds = cost.Messages, cost.Bits, cost.Rounds
+	stat.Classes = cost.Classes
+	if o := nw.Obs(); o != nil {
+		o.PhaseEnd("st", phase, nw.Now(), cost)
+	}
 	return stat, nil
 }
 

@@ -144,6 +144,9 @@ func (pr *Protocol) StartBroadcastEcho(root congest.NodeID, spec *Spec) congest.
 	} else if spec.Combine == nil {
 		panic("tree: Spec.Combine is required")
 	}
+	if o := pr.nw.Obs(); o != nil {
+		o.Count("tree.bcast_echo", 1)
+	}
 	sid := pr.nw.NewSession(nil)
 	pr.setSpec(sid, spec)
 	node := pr.nw.Node(root)

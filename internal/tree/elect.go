@@ -89,6 +89,9 @@ func (st *electState) received(i int) bool {
 // quiescence — the simulator's "after the maximum time needed for leader
 // election" — with an ElectResult.
 func (pr *Protocol) StartElectAll() congest.SessionID {
+	if o := pr.nw.Obs(); o != nil {
+		o.Count("tree.elect", 1)
+	}
 	var sid congest.SessionID
 	sid = pr.nw.NewSession(func() (any, error) { return pr.collectElection(sid) })
 	n := pr.nw.N()
