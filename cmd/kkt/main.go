@@ -169,6 +169,9 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("run takes exactly one scenario name (see 'kkt list')")
 	}
+	if err := of.validate(stderr); err != nil {
+		return err
+	}
 	reg := harness.Builtin()
 	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers, Shards: rf.shards}
 	var stopObs func()
@@ -203,6 +206,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 		}
 		stopObs()
 	}
+	warnShardFallback(stderr, rf.shards, results)
 	return reportTrialErrors(stderr, results)
 }
 
@@ -217,6 +221,9 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", "BENCH_suite.json", "report file path")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := of.validate(stderr); err != nil {
 		return err
 	}
 	reg := harness.Builtin()
@@ -286,7 +293,28 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "\nreport written to %s\n", *out)
 	}
+	warnShardFallback(stderr, rf.shards, results)
 	return reportTrialErrors(stderr, results)
+}
+
+// warnShardFallback surfaces on stderr every scenario whose trials ran on
+// a different shard count than --shards requested (the engine clamps the
+// partition to the node count). Reports stay byte-identical either way —
+// the warning is about wall-clock expectations: a user asking for N-way
+// parallelism should never silently get less.
+func warnShardFallback(stderr io.Writer, requested int, results []harness.Result) {
+	if requested <= 1 {
+		return
+	}
+	for _, res := range results {
+		for _, t := range res.Trials {
+			if t.Error == "" && t.Shards != requested {
+				fmt.Fprintf(stderr, "kkt: warning: %s ran on %d shard(s), not the requested %d (shard count is clamped to the node count)\n",
+					res.Spec.Name, t.Shards, requested)
+				break
+			}
+		}
+	}
 }
 
 // nameExcluded reports whether name contains any of the comma-separated

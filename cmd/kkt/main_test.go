@@ -172,6 +172,46 @@ func TestUnknownScenarioExitsOne(t *testing.T) {
 	}
 }
 
+// TestObsHoldWithoutListenExitsTwo: --obs-hold is meaningless without
+// --obs-listen; it used to be silently dropped, which let a CI scrape
+// misconfiguration serve nothing. Now it is a usage error on both
+// commands.
+func TestObsHoldWithoutListenExitsTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"run", "mst-build-fixed/ring/sync", "--obs-hold"},
+		{"bench", "--filter", "ring", "--quiet", "--obs-hold"},
+	} {
+		code, _, stderr := exec(t, args...)
+		if code != 2 {
+			t.Errorf("kkt %s: exit = %d, want 2 (usage error)", strings.Join(args, " "), code)
+		}
+		if !strings.Contains(stderr, "--obs-hold requires --obs-listen") {
+			t.Errorf("kkt %s: misconfiguration not reported: %q", strings.Join(args, " "), stderr)
+		}
+	}
+}
+
+// TestShardFallbackWarns: asking for more shards than the engine can use
+// (the partition clamps to the node count) must warn on stderr instead of
+// silently running narrower than requested.
+func TestShardFallbackWarns(t *testing.T) {
+	code, _, stderr := exec(t, "run", "mst-build-fixed/ring/sync", "--trials", "1", "--shards", "4096")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "not the requested 4096") {
+		t.Errorf("shard fallback not warned: %q", stderr)
+	}
+	// The honored case must stay quiet.
+	code, _, stderr = exec(t, "run", "mst-build-fixed/ring/sync", "--trials", "1", "--shards", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if strings.Contains(stderr, "warning") {
+		t.Errorf("unexpected warning for an honored shard count: %q", stderr)
+	}
+}
+
 func TestBenchUnknownFilterExitsOne(t *testing.T) {
 	code, _, stderr := exec(t, "bench", "--filter", "zzz-no-match", "--quiet")
 	if code != 1 {

@@ -13,6 +13,7 @@ package main
 //	/debug/pprof  net/http/pprof
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +40,18 @@ type obsFlags struct {
 func addObsFlags(fs *flag.FlagSet, of *obsFlags) {
 	fs.StringVar(&of.listen, "obs-listen", "", "serve live observability on this address (JSON /timeline, Prometheus /metrics, pprof /debug/pprof/)")
 	fs.BoolVar(&of.hold, "obs-hold", false, "with --obs-listen: keep serving after the run completes, until interrupted")
+}
+
+// validate rejects flag combinations that would silently do nothing:
+// --obs-hold without --obs-listen serves no endpoints to hold open, so a
+// misconfigured CI scrape must fail loudly instead of scraping nothing.
+func (of *obsFlags) validate(stderr io.Writer) error {
+	if of.hold && of.listen == "" {
+		err := errors.New("--obs-hold requires --obs-listen: there is no endpoint to keep serving")
+		fmt.Fprintln(stderr, "kkt:", err)
+		return usageError{err}
+	}
+	return nil
 }
 
 // obsState is the live registry behind the endpoints.

@@ -315,9 +315,11 @@ type Network struct {
 
 	stagedDrops uint64 // staged mark changes dropped on vanished edges
 
-	// shards is the configured shard count (1 = single-threaded). The
-	// sharded executor only engages under the synchronous scheduler; see
-	// shard.go for the engine and the determinism contract.
+	// shards is the configured shard count (1 = single-threaded); see
+	// shard.go for the engine and the determinism contract. asyncMode
+	// records the scheduler choice so the sharded merge knows whether
+	// re-scheduling a staged send needs the per-link FIFO cell.
+	asyncMode bool
 	shards   int
 	shardEng *shardEngine
 	// lane is non-nil only on a per-shard view of the network: the engine
@@ -424,13 +426,13 @@ type config struct {
 // their own randomness from driver-visible RNGs).
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 
-// WithShards partitions the nodes into s shards whose synchronous rounds
-// execute on parallel workers. The sharded engine is observably identical
-// to the single-threaded one — delivery order, driver scheduling, session
-// serials and every counter are byte-for-byte the same at any shard count
-// — so s is purely a wall-clock knob. s <= 1 keeps the single-threaded
-// path; the asynchronous scheduler (one event at a time by definition)
-// ignores sharding.
+// WithShards partitions the nodes into s shards whose delivery batches —
+// synchronous rounds, or asynchronous same-tick groups — execute on
+// parallel workers. The sharded engine is observably identical to the
+// single-threaded one — delivery order, driver scheduling, session
+// serials, derived random draws and every counter are byte-for-byte the
+// same at any shard count — so s is purely a wall-clock knob. s <= 1
+// keeps the single-threaded path.
 func WithShards(s int) Option { return func(c *config) { c.shards = s } }
 
 // WithAsync switches to the asynchronous scheduler with per-message delays
@@ -493,12 +495,13 @@ func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 		sort.Sort(halfEdgesByNeighbor(nw.nodes[v].Edges))
 	}
 	if cfg.async {
+		nw.asyncMode = true
 		nw.sched = newAsyncScheduler(nw.rng.Split(), cfg.maxDelay)
 	} else {
 		nw.sched = newSyncScheduler()
-		if cfg.shards > 1 {
-			nw.shards = shard.NewPartition(g.N, cfg.shards).Shards()
-		}
+	}
+	if cfg.shards > 1 {
+		nw.shards = shard.NewPartition(g.N, cfg.shards).Shards()
 	}
 	if nw.shards < 1 {
 		nw.shards = 1
@@ -668,6 +671,30 @@ func (nw *Network) send(from, to NodeID, kind KindID, sid SessionID, bits int, p
 	m.Bits, m.Payload, m.U, m.seq = bits, payload, u, nw.nextSeq
 	nw.counters.charge(kind, total)
 	nw.sched.schedule(m, &ns.Edges[ei].lastSched)
+}
+
+// fifoCell returns the per-directed-link FIFO cell the async scheduler
+// needs when a lane-staged send is re-scheduled at the merge, or nil under
+// the synchronous scheduler (which ignores it). The link is guaranteed to
+// exist: send validated it when staging, and topology only mutates from
+// drivers, strictly between batches.
+func (nw *Network) fifoCell(from, to NodeID) *int64 {
+	if !nw.asyncMode {
+		return nil
+	}
+	ns := nw.nodes[from]
+	return &ns.Edges[ns.edgePos(to)].lastSched
+}
+
+// AsyncConflicts returns how many emissions landed inside an open async
+// delivery window and were routed back to their reference position (see
+// asyncScheduler.winInsert). Zero under the synchronous scheduler.
+// Deterministic per seed, and identical at any shard count.
+func (nw *Network) AsyncConflicts() uint64 {
+	if s, ok := nw.sched.(*asyncScheduler); ok {
+		return s.conflicts
+	}
+	return 0
 }
 
 // lookupSession resolves a SessionID against the slot table, or nil for a

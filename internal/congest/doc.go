@@ -30,8 +30,12 @@
 //
 // Two schedulers implement the paper's two timing models: the synchronous
 // scheduler delivers in lockstep rounds (messages sent in round r arrive
-// in round r+1); the asynchronous scheduler delivers one message at a time
-// with seeded pseudo-random delays and per-link FIFO order.
+// in round r+1); the asynchronous scheduler delivers tick groups — all
+// messages sharing the earliest pending virtual time, extracted in bounded
+// windows from a calendar queue — with seeded pseudo-random delays and
+// per-link FIFO order. Emissions landing inside the open window are routed
+// to their exact reference position, so windowed (and sharded) async
+// delivery is byte-identical to a one-event-at-a-time replay.
 //
 // # Invariants
 //

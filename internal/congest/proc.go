@@ -321,8 +321,9 @@ func (nw *Network) Run() error {
 	nw.running = true
 	defer func() { nw.running = false }()
 
-	// The sharded executor engages only for multi-shard synchronous
-	// networks; its worker goroutines live exactly as long as this Run.
+	// The sharded executor engages for any multi-shard network — sync
+	// rounds and async tick groups batch the same way; its worker
+	// goroutines live exactly as long as this Run.
 	var se *shardEngine
 	if nw.shards > 1 {
 		se = nw.ensureShardEngine()
@@ -472,12 +473,13 @@ func (nw *Network) Run() error {
 // maxDeadlockResolutions bounds the unwind loop after a deadlock diagnosis.
 const maxDeadlockResolutions = 1 << 16
 
-// shardMinBatch is the smallest synchronous round worth dispatching to the
-// shard workers. Below it the barrier overhead (two channel operations per
-// worker plus the ordered merge) exceeds the handler work, so the round is
-// delivered inline on the engine goroutine — which is the reference order
-// the sharded merge reproduces anyway, so the threshold cannot affect any
-// observable. Sized so a round must carry at least a few dozen messages
-// per expected worker before fan-out pays. A var only so tests can force
-// the sharded path for tiny rounds.
+// shardMinBatch is the smallest delivery batch (synchronous round or async
+// tick group) worth dispatching to the shard workers. Below it the barrier
+// overhead (two channel operations per worker plus the ordered merge)
+// exceeds the handler work, so the batch is delivered inline on the engine
+// goroutine — which is the reference order the sharded merge reproduces
+// anyway, so the threshold cannot affect any observable. Sized so a batch
+// must carry at least a few dozen messages per expected worker before
+// fan-out pays. A var only so tests can force the sharded path for tiny
+// batches.
 var shardMinBatch = 128

@@ -236,6 +236,19 @@ func TestAsyncCalendarMatchesReferenceHeap(t *testing.T) {
 		}
 		return m
 	}
+	// nextBatch hands out whole tick groups; buffer one and pop singly so
+	// sends interleave with deliveries mid-group — exactly the engine's
+	// shape (handlers emit while the group's tick is the clock), and the
+	// regime that exercises window-conflict routing against the reference.
+	var calBuf []*Message
+	popCal := func() *Message {
+		if len(calBuf) == 0 {
+			calBuf = append(calBuf, cal.nextBatch()...)
+		}
+		m := calBuf[0]
+		calBuf = calBuf[1:]
+		return m
+	}
 
 	r := rng.New(777)
 	pendingCal, pendingRef := 0, 0
@@ -256,13 +269,13 @@ func TestAsyncCalendarMatchesReferenceHeap(t *testing.T) {
 			pendingRef++
 			continue
 		}
-		calOut = append(calOut, cal.nextBatch()[0].seq)
+		calOut = append(calOut, popCal().seq)
 		refOut = append(refOut, popRef().seq)
 		pendingCal--
 		pendingRef--
 	}
 	for pendingCal > 0 {
-		calOut = append(calOut, cal.nextBatch()[0].seq)
+		calOut = append(calOut, popCal().seq)
 		refOut = append(refOut, popRef().seq)
 		pendingCal--
 	}
@@ -273,5 +286,139 @@ func TestAsyncCalendarMatchesReferenceHeap(t *testing.T) {
 	}
 	if !cal.empty() {
 		t.Error("calendar queue not empty after drain")
+	}
+}
+
+// TestAsyncWindowOverflowProperty cross-checks the windowed calendar
+// against a flat (deliverAt, seq) reference under overflow-heavy regimes:
+// long send bursts on a handful of directed links FIFO-bump deliveries far
+// past the ring span, so most events route through the overflow heap and
+// full drains force quiet-stretch clock jumps right before windowed
+// extraction. Sends interleave with mid-group pops, so emissions landing
+// inside the open window exercise the conflict-routing path against the
+// reference order. Sweeps window sizes down to one tick.
+func TestAsyncWindowOverflowProperty(t *testing.T) {
+	defer func(w int) { asyncWindowTicks = w }(asyncWindowTicks)
+	var totalConflicts, totalOverflowed uint64
+	for _, tc := range []struct {
+		seed     uint64
+		maxDelay int64
+		ticks    int
+	}{
+		{1, 1, 2},
+		{2, 3, 4},
+		{3, 6, 16},
+		{4, 50, 3},
+		{5, 6, 1},
+	} {
+		t.Run(fmt.Sprintf("seed=%d,maxDelay=%d,winTicks=%d", tc.seed, tc.maxDelay, tc.ticks), func(t *testing.T) {
+			asyncWindowTicks = tc.ticks
+			cal := newAsyncScheduler(rng.New(tc.seed), tc.maxDelay)
+			refR := rng.New(tc.seed) // mirrors cal's delay stream draw for draw
+
+			cells := make(map[uint64]*int64)
+			cell := func(key uint64) *int64 {
+				c, ok := cells[key]
+				if !ok {
+					c = new(int64)
+					cells[key] = c
+				}
+				return c
+			}
+			lastOn := make(map[uint64]int64)
+			var q messageHeap
+			var refClock int64
+
+			var calOut, refOut []uint64
+			seq := uint64(0)
+			send := func(from, to NodeID) {
+				seq++
+				key := linkKey(from, to)
+				cal.schedule(&Message{From: from, To: to, seq: seq}, cell(key))
+				m := &Message{From: from, To: to, seq: seq}
+				at := refClock + 1 + int64(refR.Uint64n(uint64(tc.maxDelay)))
+				if at <= lastOn[key] {
+					at = lastOn[key] + 1
+				}
+				lastOn[key] = at
+				m.deliverAt = at
+				q = append(q, m)
+			}
+			popRef := func() *Message {
+				best := 0
+				for i := range q {
+					if q.Less(i, best) {
+						best = i
+					}
+				}
+				m := q[best]
+				q = append(q[:best], q[best+1:]...)
+				if m.deliverAt > refClock {
+					refClock = m.deliverAt
+				}
+				return m
+			}
+			var calBuf []*Message
+			popBoth := func() {
+				if len(calBuf) == 0 {
+					calBuf = append(calBuf, cal.nextBatch()...)
+				}
+				calOut = append(calOut, calBuf[0].seq)
+				calBuf = calBuf[1:]
+				refOut = append(refOut, popRef().seq)
+			}
+
+			r := rng.New(tc.seed ^ 0xfeed)
+			pending := 0
+			for step := 0; step < 4000; step++ {
+				if len(cal.overflow) > 0 {
+					totalOverflowed++
+				}
+				switch {
+				case r.Uint64n(40) == 0:
+					// Burst: hammer one directed link so FIFO bumping runs
+					// the tail far past the ring span, deep into the heap.
+					from := NodeID(1 + r.Intn(3))
+					for i := 0; i < 200; i++ {
+						send(from, 9)
+						pending++
+					}
+				case r.Uint64n(20) == 0:
+					// Full drain: the next sends start from a quiet queue, so
+					// far-future burst tails force quiet-stretch jumps.
+					for pending > 0 {
+						popBoth()
+						pending--
+					}
+				case pending == 0 || r.Uint64n(3) > 0:
+					from := NodeID(1 + r.Intn(4))
+					send(from, from%4+1)
+					pending++
+				default:
+					popBoth()
+					pending--
+				}
+			}
+			for pending > 0 {
+				popBoth()
+				pending--
+			}
+			for i := range calOut {
+				if calOut[i] != refOut[i] {
+					t.Fatalf("pop order diverges at %d: calendar seq %d, reference seq %d (window ticks %d)",
+						i, calOut[i], refOut[i], tc.ticks)
+				}
+			}
+			if !cal.empty() {
+				t.Error("calendar queue not empty after drain")
+			}
+			totalConflicts += cal.conflicts
+		})
+	}
+	if totalConflicts == 0 {
+		t.Error("no send ever landed inside an open window; conflict routing untested")
+	}
+	if totalOverflowed == 0 {
+		t.Error("overflow heap never engaged; the regime is not overflow-heavy")
 	}
 }

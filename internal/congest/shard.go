@@ -4,23 +4,31 @@ import (
 	"kkt/internal/shard"
 )
 
-// This file is the sharded synchronous executor: the engine hooks that let
-// one round's message deliveries run on parallel workers while staying
-// observably identical to the single-threaded engine.
+// This file is the sharded executor: the engine hooks that let one
+// delivery batch — a synchronous round, or an asynchronous same-tick
+// group — run on parallel workers while staying observably identical to
+// the single-threaded engine.
 //
-// How the equivalence works. In a synchronous round the single-threaded
-// engine delivers the batch in order 0..len-1; each handler's side effects
-// (sends, session completions) apply immediately, so the next round's
-// batch is the concatenation of every handler's emissions in batch order.
-// The sharded engine splits the batch by destination shard (each message's
-// handler touches only the destination node, so shards never share node
-// state), runs the shards concurrently, and has every side effect divert
-// into the shard's ordered lane keyed by the triggering message's global
-// batch index. The merge then replays the lanes in (batch index, emission
+// How the equivalence works. The single-threaded engine delivers a batch
+// in order 0..len-1; each handler's side effects (sends, session
+// completions) apply immediately, so later deliveries see the
+// concatenation of every handler's emissions in batch order. The sharded
+// engine splits the batch by destination shard (each message's handler
+// touches only the destination node, so shards never share node state),
+// runs the shards concurrently, and has every side effect divert into the
+// shard's ordered lane keyed by the triggering message's global batch
+// index. The merge then replays the lanes in (batch index, emission
 // order) — exactly the single-threaded order — assigning global sequence
 // numbers, scheduling sends and applying completions on the engine
 // goroutine. Counter deltas accumulate per shard and sum at the barrier;
 // uint64 addition is exact and commutative, so totals match to the bit.
+//
+// Under the asynchronous scheduler the same argument carries over because
+// a batch is one tick group: every message shares one deliverAt, so the
+// clock a merged send observes — and with it the delay draw, the FIFO
+// bump (the merge hands schedule the sender's half-edge cell) and any
+// window-conflict routing — is exactly what the inline replay would have
+// computed, in the same RNG stream order.
 //
 // Everything drivers do (sessions, spawns, topology mutation, staged-mark
 // barriers) happens strictly between rounds on the engine goroutine and
@@ -115,8 +123,9 @@ func (nw *Network) ensureShardEngine() *shardEngine {
 	return se
 }
 
-// deliverSharded delivers one synchronous round's batch on the shard
-// workers and merges the deferred effects deterministically.
+// deliverSharded delivers one batch (a synchronous round or an async tick
+// group) on the shard workers and merges the deferred effects
+// deterministically.
 func (nw *Network) deliverSharded(se *shardEngine, batch []*Message) {
 	// Split by destination shard, remembering each batch index's owner —
 	// the merge cannot consult the messages themselves, since workers
@@ -156,7 +165,7 @@ func (nw *Network) deliverSharded(se *shardEngine, batch []*Message) {
 		}
 		nw.nextSeq++
 		op.m.seq = nw.nextSeq
-		nw.sched.schedule(op.m, nil)
+		nw.sched.schedule(op.m, nw.fifoCell(op.m.From, op.m.To))
 	})
 	for i, l := range se.lanes {
 		nw.counters.merge(&l.counters)

@@ -142,6 +142,109 @@ func TestShardedDeliveryMatchesSingleThreaded(t *testing.T) {
 	}
 }
 
+// runShardWorkloadAsync is runShardWorkload under the asynchronous
+// scheduler: the same fan-out + chain traffic, but delivered as windowed
+// tick groups with seeded delays and per-link FIFO. Every effect class the
+// async merge must keep in reference order is exercised — staged sends
+// whose FIFO cells bump at the merge, deferred completions, and emissions
+// that conflict with the open delivery window.
+func runShardWorkloadAsync(t *testing.T, shards int) (shardTrace, uint64) {
+	t.Helper()
+	defer func(min int) { shardMinBatch = min }(shardMinBatch)
+	shardMinBatch = 0 // sparse async groups must still reach the workers
+	const n = 61
+	nw := shardTestNet(t, n, WithSeed(5), WithShards(shards), WithAsync(4))
+	tr := shardTrace{receipts: make([][][2]uint64, n+1)}
+
+	gossip := Kind("shardtest.agossip")
+	chain := Kind("shardtest.achain")
+	nw.RegisterHandler(gossip, func(nw *Network, node *NodeState, msg *Message) {
+		tr.receipts[node.ID] = append(tr.receipts[node.ID], [2]uint64{msg.U, uint64(nw.Now())})
+		if msg.U == 0 {
+			return
+		}
+		for i := range node.Edges {
+			nb := node.Edges[i].Neighbor
+			if (uint64(nb)+msg.U)%3 != 0 {
+				nw.SendU(node.ID, nb, gossip, msg.Session, 16, msg.U-1)
+			}
+		}
+	})
+	nw.RegisterHandler(chain, func(nw *Network, node *NodeState, msg *Message) {
+		tr.receipts[node.ID] = append(tr.receipts[node.ID], [2]uint64{1 << 32, msg.U})
+		if msg.U == 0 {
+			nw.CompleteSessionU(msg.Session, uint64(node.ID), nil)
+			return
+		}
+		next := node.Edges[int(msg.U)%len(node.Edges)].Neighbor
+		nw.SendU(node.ID, next, chain, msg.Session, 16, msg.U-1)
+	})
+
+	nw.Spawn("driver", func(p *Proc) error {
+		for _, root := range []NodeID{1, NodeID(n / 2), NodeID(n)} {
+			node := nw.Node(root)
+			for i := range node.Edges {
+				nw.SendU(root, node.Edges[i].Neighbor, gossip, 0, 16, 3)
+			}
+		}
+		p.AwaitQuiescence()
+		var sids []SessionID
+		for i := 0; i < 8; i++ {
+			sid := nw.NewSession(nil)
+			sids = append(sids, sid)
+			start := NodeID(i*7 + 1)
+			nw.SendU(start, nw.Node(start).Edges[0].Neighbor, chain, sid, 16, uint64(2+i%5))
+		}
+		for _, sid := range sids {
+			u, err := p.AwaitU(sid)
+			if err != nil {
+				return err
+			}
+			tr.results = append(tr.results, u)
+		}
+		return nil
+	})
+	if err := nw.Run(); err != nil {
+		t.Fatalf("async shards=%d: %v", shards, err)
+	}
+	tr.counters = nw.Counters()
+	tr.now = nw.Now()
+	return tr, nw.AsyncConflicts()
+}
+
+// TestAsyncShardedDeliveryMatchesSingleThreaded is the windowed async
+// executor's determinism contract at message level: per-node delivery logs
+// (with tick stamps), session completion results, cost counters, the
+// virtual clock and even the window-conflict count are identical to the
+// single-threaded engine at every shard count.
+func TestAsyncShardedDeliveryMatchesSingleThreaded(t *testing.T) {
+	want, wantConflicts := runShardWorkloadAsync(t, 1)
+	if want.counters.Messages == 0 || len(want.results) != 8 {
+		t.Fatalf("workload degenerate: %+v", want.counters)
+	}
+	if wantConflicts == 0 {
+		t.Fatal("workload never conflicted with the open window; the contract is untested")
+	}
+	for _, shards := range []int{2, 3, 4, 8} {
+		got, gotConflicts := runShardWorkloadAsync(t, shards)
+		if !reflect.DeepEqual(got.receipts, want.receipts) {
+			t.Errorf("async shards=%d: per-node receipt logs differ", shards)
+		}
+		if !reflect.DeepEqual(got.results, want.results) {
+			t.Errorf("async shards=%d: session results %v, want %v", shards, got.results, want.results)
+		}
+		if !reflect.DeepEqual(got.counters, want.counters) {
+			t.Errorf("async shards=%d: counters differ:\n got %v\nwant %v", shards, got.counters, want.counters)
+		}
+		if got.now != want.now {
+			t.Errorf("async shards=%d: clock %d, want %d", shards, got.now, want.now)
+		}
+		if gotConflicts != wantConflicts {
+			t.Errorf("async shards=%d: %d window conflicts, want %d", shards, gotConflicts, wantConflicts)
+		}
+	}
+}
+
 // TestManyShardsBeyondByteRange: shard counts past 256 must not truncate
 // the per-batch owner table (regression: owners were stored as uint8).
 func TestManyShardsBeyondByteRange(t *testing.T) {

@@ -10,7 +10,9 @@ import (
 type TrialMetrics struct {
 	Trial int    `json:"trial"`
 	Seed  uint64 `json:"seed"`
-	// Shards is the shard count the trial executed on. Deliberately
+	// Shards is the *effective* shard count the trial executed on — what
+	// the engine reports after clamping (congest.Network.Lanes), not what
+	// the caller requested, so fallback paths are visible. Deliberately
 	// excluded from serialization: the sharded engine is observably
 	// identical to the single-threaded one, and the byte-identity of
 	// seeded reports across shard counts is a contract the cross-check

@@ -82,3 +82,63 @@ func TestShardedScaleScenarioValid(t *testing.T) {
 		t.Fatalf("sharded metrics diverge:\n 1: %s\n 4: %s", b1, b4)
 	}
 }
+
+// TestAsyncShardedScaleScenarioValid is TestShardedScaleScenarioValid for
+// the windowed async engine: one mid-size asynchronous MST build on 4
+// shards, validated and cross-checked byte-for-byte against the
+// single-shard run. Also the async -race CI scenario's in-process twin.
+func TestAsyncShardedScaleScenarioValid(t *testing.T) {
+	spec := Spec{
+		Name:   "crosscheck/gnm-2k-async",
+		Family: FamilyGNM, N: 2000,
+		Sched: SchedAsync,
+		Algo:  AlgoMSTBuildAdaptive,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m4, _, err := RunTrialShards(spec, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m4.Valid {
+		t.Fatal("async sharded 2k-node MST build failed validation")
+	}
+	if m4.Shards != 4 {
+		t.Fatalf("effective shard count %d, want 4 — async trials must not silently fall back", m4.Shards)
+	}
+	if testing.Short() {
+		return
+	}
+	m1, _, err := RunTrialShards(spec, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(m1)
+	b4, _ := json.Marshal(m4)
+	if !bytes.Equal(b1, b4) {
+		t.Fatalf("async sharded metrics diverge:\n 1: %s\n 4: %s", b1, b4)
+	}
+}
+
+// TestEffectiveShardCountClamped: TrialMetrics.Shards reports what the
+// engine ran on, not what was requested — a request beyond the node count
+// clamps, and the clamp must be visible.
+func TestEffectiveShardCountClamped(t *testing.T) {
+	spec := Spec{
+		Name:   "crosscheck/tiny-ring",
+		Family: FamilyRing, N: 16,
+		Sched: SchedSync,
+		Algo:  AlgoFlood,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := RunTrialShards(spec, 7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 16 {
+		t.Fatalf("effective shard count %d, want the node-count clamp 16", m.Shards)
+	}
+}

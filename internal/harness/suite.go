@@ -124,6 +124,24 @@ func Builtin() *Registry {
 		Sched: SchedSync,
 		Algo:  AlgoSTBuild,
 	})
+	// The windowed async engine's headline scenarios: same scale as the
+	// sync 100k builds, but delivered as asynchronous tick groups — the
+	// regime the paper's Theorem 1.2 repair algorithms run in — with
+	// --shards parallelizing the groups byte-identically.
+	reg.MustRegister(Spec{
+		Name:        "mst-build/gnm-100k/async",
+		Description: "Build MST (adaptive) on connected G(n,3n) at 100k nodes under the asynchronous scheduler (windowed parallel delivery)",
+		Family:      FamilyGNM, N: 100_000,
+		Sched: SchedAsync,
+		Algo:  AlgoMSTBuildAdaptive,
+	})
+	reg.MustRegister(Spec{
+		Name:        "st-build/gnm-100k/async",
+		Description: "Build ST via FindAny-C on connected G(n,3n) at 100k nodes under the asynchronous scheduler",
+		Family:      FamilyGNM, N: 100_000,
+		Sched: SchedAsync,
+		Algo:  AlgoSTBuild,
+	})
 	reg.MustRegister(Spec{
 		Name:        "ghs/expander-50k/sync",
 		Description: "GHS baseline on a degree-4 expander at 50k nodes",

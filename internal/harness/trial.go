@@ -108,7 +108,8 @@ func RunTrialObserved(spec Spec, seed uint64, shards int, drivers congest.Driver
 	opts = append(opts, congest.WithSeed(seed))
 	if s.Sched == SchedAsync {
 		opts = append(opts, congest.WithAsync(s.MaxDelay))
-	} else if shards > 1 {
+	}
+	if shards > 1 {
 		opts = append(opts, congest.WithShards(shards))
 	}
 	if obs != nil {
@@ -117,7 +118,10 @@ func RunTrialObserved(spec Spec, seed uint64, shards int, drivers congest.Driver
 	nw := congest.NewNetwork(g, opts...)
 	pr := tree.Attach(nw)
 
-	m = TrialMetrics{Seed: seed, Shards: shards}
+	// Record the shard count the engine actually runs on (the partition
+	// clamps to the node count), never the requested one: a fallback must
+	// be visible to callers, not silently reported away.
+	m = TrialMetrics{Seed: seed, Shards: nw.Lanes()}
 	switch s.Algo {
 	case AlgoMSTBuildAdaptive, AlgoMSTBuildFixed:
 		cfg := mst.DefaultBuild(seed)
@@ -236,7 +240,7 @@ func captureFootprint(m *TrialMetrics, nw *congest.Network, heapBefore uint64) {
 // precondition), then applies the fault script in seeded random order and
 // meters only the repair traffic.
 func runRepairStorm(s Spec, nw *congest.Network, pr *tree.Protocol, g *graph.Graph, r *rng.RNG, seed uint64, shards int, weighted bool, heapBefore uint64) (TrialMetrics, map[string]congest.KindCount, error) {
-	m := TrialMetrics{Seed: seed, Shards: shards, Actions: make(map[string]int)}
+	m := TrialMetrics{Seed: seed, Shards: nw.Lanes(), Actions: make(map[string]int)}
 
 	var refForest []int
 	if weighted {
