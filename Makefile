@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-micro bench-ci bench-1m bench-history bench-baseline bench-check obs-demo clean
+.PHONY: build test race vet bench bench-micro bench-ci bench-1m bench-history bench-baseline bench-check obs-demo storm-demo clean
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,14 @@ bench-check:
 # `curl localhost:8080/metrics`.
 obs-demo:
 	$(GO) run ./cmd/kkt run mst-build/gnm-100k/sync --trials 1 --shards $$(nproc) --obs-listen :8080 --obs-hold --footprint
+
+# Adversarial-robustness demo: a ~10k-repair fault-plan storm (partitions,
+# correlated bursts, targeted deletions, heals) against a maintained MSF on
+# 100k nodes, repairs running in overlapping waves. While it runs, :8080
+# serves live repair-latency percentiles (rounds_p50/p90/p99 under
+# "repairs" at /timeline, kkt_trial_repair_rounds at /metrics).
+storm-demo:
+	$(GO) run ./cmd/kkt run mst-repair/gnm-100k/storm --trials 1 --shards $$(nproc) --obs-listen :8080 --obs-hold --footprint
 
 clean:
 	rm -f BENCH_ci.json BENCH_suite.json BENCH_micro_ci.json BENCH_1m.json BENCH_history.md

@@ -7,10 +7,10 @@
 //
 //	kkt list [--json]
 //	kkt run <scenario> [--trials N] [--seed S] [--workers W] [--shards S] [--json]
-//	        [--obs-listen ADDR] [--obs-hold] [--footprint]
+//	        [--timeout D] [--obs-listen ADDR] [--obs-hold] [--footprint]
 //	kkt bench [--filter SUBSTR] [--exclude SUBSTRS] [--trials N] [--seed S]
 //	          [--workers W] [--shards S] [--json] [--out FILE] [--quiet]
-//	          [--obs-listen ADDR] [--obs-hold]
+//	          [--timeout D] [--obs-listen ADDR] [--obs-hold]
 //
 // --obs-listen serves live observability while trials run: JSON snapshots at
 // /timeline, Prometheus text at /metrics, and net/http/pprof at
@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"text/tabwriter"
+	"time"
 
 	"kkt/internal/harness"
 )
@@ -110,6 +112,7 @@ type runFlags struct {
 	seed    uint64
 	workers int
 	shards  int
+	timeout time.Duration
 	jsonOut bool
 }
 
@@ -118,7 +121,16 @@ func addRunFlags(fs *flag.FlagSet, rf *runFlags) {
 	fs.Uint64Var(&rf.seed, "seed", 1, "base seed (identical seeds give byte-identical metrics)")
 	fs.IntVar(&rf.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&rf.shards, "shards", 1, "shards per trial: multi-core single trials, metrics byte-identical at any value")
+	fs.DurationVar(&rf.timeout, "timeout", 0, "wall-clock budget per trial; an over-budget trial is cancelled and reported as failed (0 = none)")
 	fs.BoolVar(&rf.jsonOut, "json", false, "emit JSON instead of a table")
+}
+
+func (rf runFlags) runConfig() harness.RunConfig {
+	return harness.RunConfig{
+		Trials: rf.trials, Seed: rf.seed,
+		Workers: rf.workers, Shards: rf.shards,
+		Timeout: rf.timeout,
+	}
 }
 
 // newFlagSet builds a flag set that reports errors to stderr instead of
@@ -142,10 +154,20 @@ func cmdList(args []string, stdout, stderr io.Writer) error {
 	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "SCENARIO\tFAMILY\tN\tSCHED\tALGO\tFAULTS\tDESCRIPTION")
 	for _, s := range specs {
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%d\t%s\n",
-			s.Name, s.Family, s.N, s.Sched, s.Algo, s.Faults.Total(), s.Description)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
+			s.Name, s.Family, s.N, s.Sched, s.Algo, faultsLabel(s), s.Description)
 	}
 	return tw.Flush()
+}
+
+// faultsLabel renders the FAULTS column: an exact count for fixed fault
+// workloads, a ~prefixed estimate for compiled fault plans (the exact event
+// count depends on the seed and the graph).
+func faultsLabel(s harness.Spec) string {
+	if s.Plan != nil {
+		return "~" + strconv.Itoa(s.Plan.Approx())
+	}
+	return strconv.Itoa(s.Faults.Total())
 }
 
 func cmdRun(args []string, stdout, stderr io.Writer) error {
@@ -173,7 +195,10 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	reg := harness.Builtin()
-	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers, Shards: rf.shards}
+	if _, ok := reg.Get(name); !ok {
+		return unknownScenario(stderr, reg, name)
+	}
+	cfg := rf.runConfig()
 	var stopObs func()
 	if of.listen != "" {
 		st, stop, err := startObsServer(of.listen, stderr)
@@ -238,9 +263,11 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 		specs = kept
 	}
 	if len(specs) == 0 {
-		return fmt.Errorf("no scenario matches filter %q / exclude %q", *filter, *exclude)
+		fmt.Fprintf(stderr, "kkt: no scenario matches filter %q / exclude %q\n", *filter, *exclude)
+		printSuggestions(stderr, reg.Suggest(*filter))
+		return usageError{fmt.Errorf("no scenario matches")}
 	}
-	cfg := harness.RunConfig{Trials: rf.trials, Seed: rf.seed, Workers: rf.workers, Shards: rf.shards}.Normalized()
+	cfg := rf.runConfig().Normalized()
 	var stopObs func()
 	if of.listen != "" {
 		st, stop, err := startObsServer(of.listen, stderr)
@@ -295,6 +322,26 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	}
 	warnShardFallback(stderr, rf.shards, results)
 	return reportTrialErrors(stderr, results)
+}
+
+// unknownScenario reports a scenario name the registry does not know, with
+// "did you mean" candidates, and maps it to exit code 2: a mistyped name is
+// a usage error, not a runtime failure, so CI scripts can tell the two
+// apart.
+func unknownScenario(stderr io.Writer, reg *harness.Registry, name string) error {
+	fmt.Fprintf(stderr, "kkt: unknown scenario %q (see 'kkt list')\n", name)
+	printSuggestions(stderr, reg.Suggest(name))
+	return usageError{fmt.Errorf("unknown scenario")}
+}
+
+func printSuggestions(stderr io.Writer, names []string) {
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintln(stderr, "did you mean:")
+	for _, n := range names {
+		fmt.Fprintf(stderr, "  %s\n", n)
+	}
 }
 
 // warnShardFallback surfaces on stderr every scenario whose trials ran on

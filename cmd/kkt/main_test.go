@@ -162,13 +162,18 @@ func TestNoArgsExitsTwo(t *testing.T) {
 	}
 }
 
-func TestUnknownScenarioExitsOne(t *testing.T) {
-	code, _, stderr := exec(t, "run", "no-such-scenario")
-	if code != 1 {
-		t.Errorf("exit = %d, want 1", code)
+// TestUnknownScenarioExitsTwo: a mistyped scenario name is a usage error
+// (exit 2, like unknown flags), and close registered names are suggested.
+func TestUnknownScenarioExitsTwo(t *testing.T) {
+	code, _, stderr := exec(t, "run", "mst-build-fixd/ring/sync")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
 	}
 	if !strings.Contains(stderr, "unknown scenario") {
 		t.Errorf("stderr = %q", stderr)
+	}
+	if !strings.Contains(stderr, "did you mean") || !strings.Contains(stderr, "mst-build-fixed/ring/sync") {
+		t.Errorf("suggestions missing: %q", stderr)
 	}
 }
 
@@ -212,12 +217,21 @@ func TestShardFallbackWarns(t *testing.T) {
 	}
 }
 
-func TestBenchUnknownFilterExitsOne(t *testing.T) {
+// TestBenchUnknownFilterExitsTwo: a filter matching nothing is a usage
+// error (exit 2), with suggestions when the filter resembles a name.
+func TestBenchUnknownFilterExitsTwo(t *testing.T) {
 	code, _, stderr := exec(t, "bench", "--filter", "zzz-no-match", "--quiet")
-	if code != 1 {
-		t.Errorf("exit = %d, want 1", code)
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
 	}
 	if !strings.Contains(stderr, "no scenario matches") {
 		t.Errorf("stderr = %q", stderr)
+	}
+	code, _, stderr = exec(t, "bench", "--filter", "mst-buld", "--quiet")
+	if code != 2 {
+		t.Errorf("near-miss filter: exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "did you mean") {
+		t.Errorf("near-miss filter suggestions missing: %q", stderr)
 	}
 }

@@ -132,6 +132,15 @@ func (st *obsState) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, s := range snaps {
 		fmt.Fprintf(w, "kkt_trial_repairs_finished_total{trial=%q} %d\n", s.Label, s.Repairs.Finished)
 	}
+	writeHelp("kkt_trial_repair_rounds", "Repair round-latency percentiles over the recent-repair ring.", "gauge")
+	for _, s := range snaps {
+		if s.Repairs.Finished == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "kkt_trial_repair_rounds{trial=%q,quantile=\"0.5\"} %d\n", s.Label, s.Repairs.RoundsP50)
+		fmt.Fprintf(w, "kkt_trial_repair_rounds{trial=%q,quantile=\"0.9\"} %d\n", s.Label, s.Repairs.RoundsP90)
+		fmt.Fprintf(w, "kkt_trial_repair_rounds{trial=%q,quantile=\"0.99\"} %d\n", s.Label, s.Repairs.RoundsP99)
+	}
 	writeHelp("kkt_kind_messages_total", "Messages sent, by message kind.", "counter")
 	for _, s := range snaps {
 		for _, kt := range s.ByKind {
@@ -180,8 +189,8 @@ func holdObs(stderr io.Writer) {
 func printFootprint(stderr io.Writer, results []harness.Result) {
 	for _, res := range results {
 		for _, t := range res.Trials {
-			fmt.Fprintf(stderr, "footprint: %s trial %d: peak_driver_goroutines=%d peak_driver_tasks=%d peak_live_drivers=%d heap_sys_mb=%d\n",
-				res.Spec.Name, t.Trial, t.PeakDriverGoroutines, t.PeakDriverTasks, t.PeakLiveDrivers, t.HeapSysMB)
+			fmt.Fprintf(stderr, "footprint: %s trial %d: peak_driver_goroutines=%d peak_driver_tasks=%d peak_live_drivers=%d heap_sys_mb=%d async_conflicts=%d\n",
+				res.Spec.Name, t.Trial, t.PeakDriverGoroutines, t.PeakDriverTasks, t.PeakLiveDrivers, t.HeapSysMB, t.AsyncConflicts)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -268,6 +269,9 @@ type session struct {
 	// is how "wait until maxTime" timeouts are modelled without wall
 	// clocks. It returns the result to complete with.
 	onQuiescence func() (any, error)
+	// openedAt is the scheduler clock at NewSession, stamped only when the
+	// watchdog is armed (per-session budgets and dump ages).
+	openedAt int64
 }
 
 // Network is the simulator: topology, schedulers, counters, sessions and
@@ -320,8 +324,8 @@ type Network struct {
 	// records the scheduler choice so the sharded merge knows whether
 	// re-scheduling a staged send needs the per-link FIFO cell.
 	asyncMode bool
-	shards   int
-	shardEng *shardEngine
+	shards    int
+	shardEng  *shardEngine
 	// lane is non-nil only on a per-shard view of the network: the engine
 	// hands handlers a view whose mutating operations (sends, completions,
 	// message recycling, counter charges) divert into the shard's ordered
@@ -355,6 +359,18 @@ type Network struct {
 
 	running             bool
 	deadlockResolutions int
+
+	// Watchdog state (see watchdog.go). completions counts every session
+	// completion unconditionally — the one-word cost of the disabled
+	// watchdog; everything else is touched only when armed. wdArmed caches
+	// wd.enabled() so the Run loop's guard is a single flag test.
+	wd             Watchdog
+	wdArmed        bool
+	ctx            context.Context
+	completions    uint64
+	wdSeen         uint64
+	wdLastProgress int64
+	wdChecks       uint64
 }
 
 // wakeup is one runnable-driver entry on the engine's run queue: exactly
@@ -420,6 +436,8 @@ type config struct {
 	maxDelay int64
 	shards   int
 	obs      Observer
+	wd       Watchdog
+	ctx      context.Context
 }
 
 // WithSeed sets the engine's random seed (async delays; protocols draw
@@ -466,13 +484,16 @@ func NewNetwork(g *graph.Graph, opts ...Option) *Network {
 		o(&cfg)
 	}
 	nw := &Network{
-		nodes:  make([]*NodeState, g.N+1),
-		states: make([]NodeState, g.N+1),
-		layout: g.Layout,
-		maxRaw: g.MaxRaw,
-		rng:    rng.New(cfg.seed),
-		budget: g.Layout.MessageBudget,
-		obs:    cfg.obs,
+		nodes:   make([]*NodeState, g.N+1),
+		states:  make([]NodeState, g.N+1),
+		layout:  g.Layout,
+		maxRaw:  g.MaxRaw,
+		rng:     rng.New(cfg.seed),
+		budget:  g.Layout.MessageBudget,
+		obs:     cfg.obs,
+		wd:      cfg.wd,
+		wdArmed: cfg.wd.enabled(),
+		ctx:     cfg.ctx,
 	}
 	deg := make([]int, g.N+1)
 	for _, e := range g.Edges() {
@@ -737,6 +758,12 @@ func (nw *Network) NewSession(onQuiescence func() (any, error)) SessionID {
 	nw.serial++
 	sid := SessionID(nw.serial)<<sessSlotBits | SessionID(slot)
 	nw.slots[slot] = session{id: sid, onQuiescence: onQuiescence}
+	if nw.wdArmed {
+		// openedAt feeds the per-session budget sweep and the dump's
+		// oldest-session list; stamped only when armed so the disabled
+		// watchdog never touches the scheduler clock here.
+		nw.slots[slot].openedAt = nw.sched.now()
+	}
 	if onQuiescence != nil {
 		nw.quiescent = append(nw.quiescent, sid)
 	}
@@ -775,6 +802,10 @@ func (nw *Network) completeSession(sid SessionID, w Wake) {
 	if s.completed {
 		panic(fmt.Sprintf("congest: session %d completed twice", sid))
 	}
+	// The watchdog's progress signal: completions advancing means the run
+	// is not stalled. One unconditional increment — the entire disabled
+	// cost on this path.
+	nw.completions++
 	if nw.obs != nil {
 		// Lane-deferred completions reached this root path via the ordered
 		// merge, so the hook fires on the engine goroutine in

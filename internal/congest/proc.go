@@ -320,6 +320,13 @@ func (nw *Network) Run() error {
 	}
 	nw.running = true
 	defer func() { nw.running = false }()
+	if nw.wdArmed {
+		// Re-baseline the stall detector: the clock persists across Runs on
+		// one network (repair storms Run per wave), and a fresh Run must
+		// not inherit the idle gap since the last one.
+		nw.wdSeen = nw.completions
+		nw.wdLastProgress = nw.sched.now()
+	}
 
 	// The sharded executor engages for any multi-shard network — sync
 	// rounds and async tick groups batch the same way; its worker
@@ -393,6 +400,15 @@ func (nw *Network) Run() error {
 					load = se.load
 				}
 				nw.observeRound(load)
+			}
+			if nw.wdArmed || nw.ctx != nil {
+				// Watchdog/cancellation check, once per delivery batch: a
+				// trip returns the structured *WatchdogError through the
+				// normal error path, so the deferred pool drains unwind the
+				// parked drivers exactly as a deadlock return would.
+				if werr := nw.watchdogCheck(); werr != nil {
+					return werr
+				}
 			}
 			continue
 		}

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"math"
+
+	"kkt/internal/faultplan"
 )
 
 // Graph family names understood by Spec.Family.
@@ -30,6 +32,10 @@ const (
 	AlgoSTRepair         = "st-repair"       // impromptu ST repair storm (paper §4.3)
 	AlgoGHS              = "ghs"             // Gallager–Humblet–Spira baseline
 	AlgoFlood            = "flood"           // Θ(m) flooding baseline
+	// AlgoDebugStall wires a deliberate engine livelock; it exists to
+	// exercise the watchdog end to end (env-gated, never in the default
+	// suite).
+	AlgoDebugStall = "debug-stall"
 )
 
 // FaultScript is the declarative dynamic workload of a repair scenario:
@@ -43,6 +49,14 @@ type FaultScript struct {
 
 // Total returns the number of operations in the script.
 func (f FaultScript) Total() int { return f.Deletes + f.Inserts + f.WeightChanges }
+
+// WatchdogSpec declares the engine watchdog budgets of a scenario, in
+// scheduler-clock units (see congest.Watchdog). Zero fields are unbounded.
+type WatchdogSpec struct {
+	MaxTime     int64 `json:"max_time,omitempty"`
+	StallTime   int64 `json:"stall_time,omitempty"`
+	SessionTime int64 `json:"session_time,omitempty"`
+}
 
 // Spec declares one scenario: everything needed to run a trial except the
 // seed. Specs are plain data so they serialize into reports and CLI
@@ -69,6 +83,18 @@ type Spec struct {
 	// (repair algorithms only).
 	Algo   string      `json:"algo"`
 	Faults FaultScript `json:"faults,omitzero"`
+
+	// Plan is the adversarial alternative to Faults: a compiled fault plan
+	// (targeted deletes, bursts, partition-and-heal) driven through the
+	// concurrent-repair admission queue in waves. Repair algorithms take
+	// exactly one of Faults or Plan.
+	Plan *faultplan.Plan `json:"plan,omitempty"`
+	// Wave caps the concurrent repairs per admission wave (Plan scenarios
+	// only; default 64).
+	Wave int `json:"wave,omitempty"`
+
+	// Watchdog arms the engine watchdog for every Run of the trial.
+	Watchdog *WatchdogSpec `json:"watchdog,omitempty"`
 }
 
 // withDefaults returns the spec with unset tunables filled in.
@@ -130,24 +156,53 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("harness: %s: unknown scheduler %q", s.Name, s.Sched)
 	}
+	if s.Plan != nil {
+		if err := s.Plan.Validate(); err != nil {
+			return fmt.Errorf("harness: %s: %v", s.Name, err)
+		}
+	}
 	switch s.Algo {
 	case AlgoMSTBuildAdaptive, AlgoMSTBuildFixed, AlgoSTBuild, AlgoGHS, AlgoFlood:
-		if s.Faults.Total() != 0 {
-			return fmt.Errorf("harness: %s: %s takes no fault script", s.Name, s.Algo)
+		if s.Faults.Total() != 0 || s.Plan != nil {
+			return fmt.Errorf("harness: %s: %s takes no fault workload", s.Name, s.Algo)
 		}
 	case AlgoMSTRepair:
-		if s.Faults.Total() == 0 {
-			return fmt.Errorf("harness: %s: repair scenario needs a fault script", s.Name)
+		if err := s.validateFaultWorkload(); err != nil {
+			return err
 		}
 	case AlgoSTRepair:
-		if s.Faults.Total() == 0 {
-			return fmt.Errorf("harness: %s: repair scenario needs a fault script", s.Name)
+		if err := s.validateFaultWorkload(); err != nil {
+			return err
 		}
-		if s.Faults.WeightChanges != 0 {
+		if s.Faults.WeightChanges != 0 || (s.Plan != nil && s.Plan.WeightChanges != 0) {
 			return fmt.Errorf("harness: %s: st-repair is unweighted, no weight changes", s.Name)
+		}
+	case AlgoDebugStall:
+		if s.Watchdog == nil {
+			return fmt.Errorf("harness: %s: debug-stall without a watchdog would hang forever", s.Name)
 		}
 	default:
 		return fmt.Errorf("harness: %s: unknown algorithm %q", s.Name, s.Algo)
+	}
+	if s.Wave != 0 && s.Plan == nil {
+		return fmt.Errorf("harness: %s: wave is a fault-plan knob; set plan", s.Name)
+	}
+	if s.Wave < 0 {
+		return fmt.Errorf("harness: %s: wave=%d, want >= 0", s.Name, s.Wave)
+	}
+	return nil
+}
+
+// validateFaultWorkload enforces the exactly-one-of Faults/Plan rule for
+// repair algorithms.
+func (s Spec) validateFaultWorkload() error {
+	hasScript := s.Faults.Total() != 0
+	hasPlan := s.Plan != nil && !s.Plan.Empty()
+	switch {
+	case hasScript && hasPlan:
+		return fmt.Errorf("harness: %s: set faults or plan, not both", s.Name)
+	case !hasScript && !hasPlan:
+		return fmt.Errorf("harness: %s: repair scenario needs a fault script or plan", s.Name)
 	}
 	return nil
 }

@@ -60,6 +60,21 @@ type TrialMetrics struct {
 	Valid bool `json:"valid"`
 	// Actions tallies repair outcomes by name (repair scenarios only).
 	Actions map[string]int `json:"actions,omitempty"`
+	// Repairs/RepairWaves/RepairRetries account the concurrent-repair
+	// admission queue (fault-plan scenarios only): launched repair drivers,
+	// executed waves, and admission conflicts (claim failures plus
+	// same-edge ordering blocks).
+	Repairs       int `json:"repairs,omitempty"`
+	RepairWaves   int `json:"repair_waves,omitempty"`
+	RepairRetries int `json:"repair_retries,omitempty"`
+	// MsgsPerRepair/BitsPerRepair are the amortized per-repair costs: the
+	// measured section's traffic divided by launched repairs.
+	MsgsPerRepair float64 `json:"msgs_per_repair,omitempty"`
+	BitsPerRepair float64 `json:"bits_per_repair,omitempty"`
+	// AsyncConflicts counts emissions that landed inside an open async
+	// delivery window and were routed back to their reference position
+	// (async trials only; see congest.Network.AsyncConflicts).
+	AsyncConflicts uint64 `json:"async_conflicts,omitempty"`
 	// StagedDrops counts staged mark changes dropped at a barrier because
 	// their edge was deleted while the instruction was in flight. Non-zero
 	// only when dynamic deletions race repairs; surfaced so the drop path
@@ -130,6 +145,13 @@ type Summary struct {
 	Failed int `json:"failed"`
 	// Actions sums the per-trial repair tallies.
 	Actions map[string]int `json:"actions,omitempty"`
+	// Repairs/RepairWaves/RepairRetries sum the admission-queue accounting
+	// across successful trials (fault-plan scenarios only).
+	Repairs       int `json:"repairs,omitempty"`
+	RepairWaves   int `json:"repair_waves,omitempty"`
+	RepairRetries int `json:"repair_retries,omitempty"`
+	// AsyncConflicts sums the per-trial async window-conflict counts.
+	AsyncConflicts uint64 `json:"async_conflicts,omitempty"`
 	// StagedDrops sums the per-trial staged-mark drop counts.
 	StagedDrops uint64 `json:"staged_drops,omitempty"`
 	// ByKind sums message traffic per kind across successful trials.
@@ -158,6 +180,10 @@ func summarize(trials []TrialMetrics, byKind []map[string]congest.KindCount) Sum
 		bits = append(bits, t.Bits)
 		times = append(times, uint64(t.Time))
 		sum.StagedDrops += t.StagedDrops
+		sum.Repairs += t.Repairs
+		sum.RepairWaves += t.RepairWaves
+		sum.RepairRetries += t.RepairRetries
+		sum.AsyncConflicts += t.AsyncConflicts
 		for k, v := range t.Actions {
 			if sum.Actions == nil {
 				sum.Actions = make(map[string]int)

@@ -75,3 +75,77 @@ func (r *Registry) Match(substr string) []Spec {
 	}
 	return out
 }
+
+// Suggest returns up to three registered names close to the given unknown
+// one, for "did you mean" diagnostics: substring matches first, then
+// smallest edit distance (bounded at one third of the query length, so
+// wildly different names suggest nothing).
+func (r *Registry) Suggest(name string) []string {
+	type cand struct {
+		name string
+		dist int
+	}
+	var cands []cand
+	maxDist := len(name) / 3
+	if maxDist < 2 {
+		maxDist = 2
+	}
+	for _, n := range r.Names() {
+		if strings.Contains(n, name) || strings.Contains(name, n) {
+			cands = append(cands, cand{n, 0})
+			continue
+		}
+		// Whole-name distance, or the best distance to any /-segment:
+		// "mst-buld" should surface mst-build/* even though the full
+		// names are far away.
+		best := editDistance(name, n)
+		for _, seg := range strings.Split(n, "/") {
+			if d := editDistance(name, seg); d < best {
+				best = d
+			}
+		}
+		if best <= maxDist {
+			cands = append(cands, cand{n, best})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	if len(cands) > 3 {
+		cands = cands[:3]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.name
+	}
+	return out
+}
+
+// editDistance is the Levenshtein distance with two rolling rows.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

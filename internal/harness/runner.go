@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"kkt/internal/congest"
 )
@@ -25,6 +27,12 @@ type RunConfig struct {
 	// concurrency is roughly Workers × Shards, so large sweeps should
 	// lower Workers when raising Shards.
 	Shards int
+	// Timeout bounds each trial's wall-clock time (0 = unbounded). A timed-
+	// out trial aborts at the next delivery batch with a structured
+	// congest.WatchdogError and counts as Failed; successful trials are
+	// untouched, so seeded reports stay byte-identical with or without a
+	// (generous) timeout.
+	Timeout time.Duration
 	// OnTrialDone, if set, is called after every finished trial (from
 	// worker goroutines; must be safe for concurrent use). For progress
 	// reporting.
@@ -94,7 +102,13 @@ func RunAll(specs []Spec, cfg RunConfig) []Result {
 				if cfg.Observe != nil {
 					obs = cfg.Observe(spec, j.ti)
 				}
-				m, kinds, err := RunTrialObserved(spec, seed, cfg.Shards, congest.DriverCont, obs)
+				var ctx context.Context
+				cancel := func() {}
+				if cfg.Timeout > 0 {
+					ctx, cancel = context.WithTimeout(context.Background(), cfg.Timeout)
+				}
+				m, kinds, err := RunTrialContext(ctx, spec, seed, cfg.Shards, congest.DriverCont, obs)
+				cancel()
 				m.Trial = j.ti
 				m.Seed = seed
 				if err != nil {

@@ -1,5 +1,11 @@
 package harness
 
+import (
+	"os"
+
+	"kkt/internal/faultplan"
+)
+
 // Builtin returns the standard scenario suite: every headline path of the
 // paper (MST build under both phase policies, the three repair
 // operations, ST repair via FindAny, GHS and flooding as baselines)
@@ -70,6 +76,55 @@ func Builtin() *Registry {
 		Sched:  SchedAsync,
 		Algo:   AlgoMSTRepair,
 		Faults: FaultScript{Deletes: 8, Inserts: 8, WeightChanges: 8},
+	})
+
+	// --- Concurrent repair storms (fault plans + admission queue) ---
+	// The adversarial counterpart of the uniform repair storms above: a
+	// compiled fault plan (partition-and-heal, correlated bursts, targeted
+	// forest deletes) drains through the admission queue in waves of
+	// overlapping repairs. Watchdogs are armed generously — they exist to
+	// turn a wedged trial into a structured dump, never to trip a healthy
+	// run.
+	smallPlan := &faultplan.Plan{
+		Partitions: 2, PartitionSize: 6, Heals: 6,
+		Bursts: 1, BurstRadius: 1,
+		BridgeDeletes: 2, TreeEdgeDeletes: 4, HubDeletes: 2,
+		Deletes: 6, Inserts: 6, WeightChanges: 6,
+	}
+	reg.MustRegister(Spec{
+		Name:        "mst-repair/gnm/storm",
+		Description: "Adversarial fault plan against a maintained MSF, concurrent repair waves",
+		Family:      FamilyGNM, N: 48,
+		Sched:    SchedSync,
+		Algo:     AlgoMSTRepair,
+		Plan:     smallPlan,
+		Wave:     8,
+		Watchdog: &WatchdogSpec{StallTime: 1 << 20, MaxTime: 1 << 32},
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-repair/gnm/storm-async",
+		Description: "Adversarial fault plan against a maintained MSF, concurrent repair waves under asynchrony",
+		Family:      FamilyGNM, N: 48,
+		Sched:    SchedAsync,
+		Algo:     AlgoMSTRepair,
+		Plan:     smallPlan,
+		Wave:     8,
+		Watchdog: &WatchdogSpec{StallTime: 1 << 20, MaxTime: 1 << 32},
+	})
+	reg.MustRegister(Spec{
+		Name:        "st-repair/gnm/storm",
+		Description: "Adversarial fault plan against a maintained spanning forest, concurrent repair waves",
+		Family:      FamilyGNM, N: 64,
+		Sched: SchedSync,
+		Algo:  AlgoSTRepair,
+		Plan: &faultplan.Plan{
+			Partitions: 2, PartitionSize: 8, Heals: 8,
+			Bursts: 1, BurstRadius: 1,
+			BridgeDeletes: 2, TreeEdgeDeletes: 6, HubDeletes: 2,
+			Deletes: 8, Inserts: 8,
+		},
+		Wave:     8,
+		Watchdog: &WatchdogSpec{StallTime: 1 << 20, MaxTime: 1 << 32},
 	})
 
 	// --- ST build and repair (paper §4) ---
@@ -156,6 +211,34 @@ func Builtin() *Registry {
 		Sched: SchedSync,
 		Algo:  AlgoGHS,
 	})
+	// The 10k-repair adversarial storm at 100k nodes: partitions shatter
+	// the graph early (each severs a forest subtree behind a single tree
+	// edge, so the expensive-looking bridged-off conclusions stay
+	// proportional to the region), after which the targeted and
+	// background faults land on a many-component forest and the waves
+	// genuinely overlap. The launchers re-orient every repair at
+	// admission time toward the smaller live side (admit.SideProber), so
+	// searches cost the severed region, not the 100k remainder.
+	reg.MustRegister(Spec{
+		Name:        "mst-repair/gnm-100k/storm",
+		Description: "10k-repair adversarial storm (partition, burst, targeted deletes, heals) on 100k nodes through the admission queue",
+		Family:      FamilyGNM, N: 100_000,
+		Sched: SchedSync,
+		Algo:  AlgoMSTRepair,
+		// Delete-heavy on purpose: delete repairs root in the small
+		// severed side, while same-component insert-style repairs pay a
+		// path probe over the whole component — a few hundred of those
+		// against the ~90k-node remainder already dominate the bill, so
+		// inserts/weight changes/heals stay in the hundreds.
+		Plan: &faultplan.Plan{
+			Partitions: 128, PartitionSize: 192, Heals: 160,
+			Bursts: 12, BurstRadius: 1,
+			BridgeDeletes: 32, TreeEdgeDeletes: 8500, HubDeletes: 128,
+			Deletes: 4000, Inserts: 150, WeightChanges: 200,
+		},
+		Wave:     64,
+		Watchdog: &WatchdogSpec{StallTime: 1 << 22, MaxTime: 1 << 36},
+	})
 	reg.MustRegister(Spec{
 		Name:        "mst-build/gnm-1m/sync",
 		Description: "Build MST (adaptive) on connected G(n,3n) at 1M nodes: the sharded multi-core engine's headline scenario (run with --shards = cores)",
@@ -193,6 +276,22 @@ func Builtin() *Registry {
 		Sched: SchedAsync,
 		Algo:  AlgoFlood,
 	})
+
+	// --- Debug scenarios (env-gated, never in the default listing) ---
+	// debug/stall wires a deliberate engine livelock so the watchdog can be
+	// exercised end to end: the trial MUST fail, with a structured dump
+	// instead of a hang. Gated behind KKT_DEBUG_SCENARIOS=1 so the default
+	// suite contains only scenarios that are supposed to pass.
+	if os.Getenv("KKT_DEBUG_SCENARIOS") == "1" {
+		reg.MustRegister(Spec{
+			Name:        "debug/stall",
+			Description: "Deliberate livelock; the armed watchdog must fail the trial with a diagnostic dump",
+			Family:      FamilyRing, N: 8,
+			Sched:    SchedSync,
+			Algo:     AlgoDebugStall,
+			Watchdog: &WatchdogSpec{StallTime: 4096},
+		})
+	}
 
 	return reg
 }

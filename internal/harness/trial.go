@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -90,7 +91,17 @@ func RunTrialDrivers(spec Spec, seed uint64, shards int, drivers congest.DriverM
 // attached to the trial's network (nil disables observation). The observer
 // is passive — metrics and reports are byte-identical with it on or off;
 // see congest.Observer.
-func RunTrialObserved(spec Spec, seed uint64, shards int, drivers congest.DriverMode, obs congest.Observer) (m TrialMetrics, byKind map[string]congest.KindCount, err error) {
+func RunTrialObserved(spec Spec, seed uint64, shards int, drivers congest.DriverMode, obs congest.Observer) (TrialMetrics, map[string]congest.KindCount, error) {
+	return RunTrialContext(nil, spec, seed, shards, drivers, obs)
+}
+
+// RunTrialContext is RunTrialObserved with a cancellation context plumbed
+// into the trial's engine: once ctx is done, the trial aborts at the next
+// delivery batch with a structured congest.WatchdogError instead of
+// running to completion. A nil ctx disables cancellation. Cancellation is
+// the one wall-clock escape hatch — a cancelled trial reports an error,
+// never metrics, so it cannot perturb seeded reports.
+func RunTrialContext(ctx context.Context, spec Spec, seed uint64, shards int, drivers congest.DriverMode, obs congest.Observer) (m TrialMetrics, byKind map[string]congest.KindCount, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("harness: trial panicked: %v", r)
@@ -114,6 +125,16 @@ func RunTrialObserved(spec Spec, seed uint64, shards int, drivers congest.Driver
 	}
 	if obs != nil {
 		opts = append(opts, congest.WithObserver(obs))
+	}
+	if s.Watchdog != nil {
+		opts = append(opts, congest.WithWatchdog(congest.Watchdog{
+			MaxTime:     s.Watchdog.MaxTime,
+			StallTime:   s.Watchdog.StallTime,
+			SessionTime: s.Watchdog.SessionTime,
+		}))
+	}
+	if ctx != nil {
+		opts = append(opts, congest.WithContext(ctx))
 	}
 	nw := congest.NewNetwork(g, opts...)
 	pr := tree.Attach(nw)
@@ -173,13 +194,22 @@ func RunTrialObserved(spec Spec, seed uint64, shards int, drivers congest.Driver
 		m.ForestEdges = len(res.Forest)
 		m.Valid = spanning.IsSpanningForest(g, forestIndices(g, res.Forest)) == nil
 	case AlgoMSTRepair:
+		if s.Plan != nil {
+			return runConcurrentStorm(s, nw, pr, g, seed, true, heapBefore)
+		}
 		return runRepairStorm(s, nw, pr, g, r, seed, shards, true, heapBefore)
 	case AlgoSTRepair:
+		if s.Plan != nil {
+			return runConcurrentStorm(s, nw, pr, g, seed, false, heapBefore)
+		}
 		return runRepairStorm(s, nw, pr, g, r, seed, shards, false, heapBefore)
+	case AlgoDebugStall:
+		return m, nil, runDebugStall(nw)
 	default:
 		return m, nil, fmt.Errorf("harness: unknown algorithm %q", s.Algo)
 	}
 	m.StagedDrops = nw.StagedDrops()
+	m.AsyncConflicts = nw.AsyncConflicts()
 	captureFootprint(&m, nw, heapBefore)
 	return m, nw.Counters().ByKind, nil
 }
@@ -333,6 +363,7 @@ func runRepairStorm(s Spec, nw *congest.Network, pr *tree.Protocol, g *graph.Gra
 	m.Messages, m.Bits = delta.Messages, delta.Bits
 	m.Time = nw.Now() - baseTime
 	m.StagedDrops = nw.StagedDrops()
+	m.AsyncConflicts = nw.AsyncConflicts()
 	captureFootprint(&m, nw, heapBefore)
 
 	// Reference check against the final (mutated) topology.

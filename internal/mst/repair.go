@@ -312,7 +312,17 @@ type pathMaxResult struct {
 // runPathMax performs the Insert(u,v) broadcast-and-echo: does v lie in
 // u's tree, and if so what is the heaviest edge on the path u..v?
 func runPathMax(p *congest.Proc, pr *tree.Protocol, root, target congest.NodeID) (pathMaxResult, error) {
-	spec := &tree.Spec{
+	v, err := pr.BroadcastEcho(p, root, pathMaxSpec(target))
+	if err != nil {
+		return pathMaxResult{}, err
+	}
+	return v.(pathMaxResult), nil
+}
+
+// pathMaxSpec builds the Insert(u,v) broadcast-and-echo spec; shared by the
+// blocking driver above and the wave-mode storm machine.
+func pathMaxSpec(target congest.NodeID) *tree.Spec {
+	return &tree.Spec{
 		Down:     target,
 		DownBits: 32,
 		UpBits:   1 + 64 + 64,
@@ -336,11 +346,6 @@ func runPathMax(p *congest.Proc, pr *tree.Protocol, root, target congest.NodeID)
 			return res
 		},
 	}
-	v, err := pr.BroadcastEcho(p, root, spec)
-	if err != nil {
-		return pathMaxResult{}, err
-	}
-	return v.(pathMaxResult), nil
 }
 
 // swapSpec broadcasts "unmark removeEdge, mark addEdge": both endpoints

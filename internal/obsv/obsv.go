@@ -13,6 +13,7 @@ const (
 	maxRoundSamples = 1024
 	maxEvents       = 512
 	maxPhaseAggs    = 4096
+	maxLatSamples   = 256
 )
 
 // RoundSample is one sampled point of the cumulative cost timeline.
@@ -55,8 +56,10 @@ type SessionStats struct {
 	Failed    uint64 `json:"failed"`
 }
 
-// RepairStats aggregates repair operations: counts, cost, and round-latency
-// extremes (enough for mean/min/max; percentiles would need the event ring).
+// RepairStats aggregates repair operations: counts, cost, round-latency
+// extremes, and nearest-rank percentiles over a bounded ring of the most
+// recent repair latencies (a live storm view, not an exact all-time
+// distribution).
 type RepairStats struct {
 	Started   uint64            `json:"started"`
 	Finished  uint64            `json:"finished"`
@@ -65,6 +68,9 @@ type RepairStats struct {
 	RoundsSum int64             `json:"rounds_sum"`
 	RoundsMin int64             `json:"rounds_min"`
 	RoundsMax int64             `json:"rounds_max"`
+	RoundsP50 int64             `json:"rounds_p50,omitempty"`
+	RoundsP90 int64             `json:"rounds_p90,omitempty"`
+	RoundsP99 int64             `json:"rounds_p99,omitempty"`
 	ByAction  map[string]uint64 `json:"by_action,omitempty"`
 }
 
@@ -120,6 +126,8 @@ type Recorder struct {
 
 	sessions SessionStats
 	repairs  RepairStats
+	lats     []int64 // ring of recent repair round-latencies
+	latHead  int
 	counts   map[string]uint64
 }
 
@@ -230,6 +238,12 @@ func (r *Recorder) RepairDone(op, action string, now int64, rounds int64, messag
 		rp.ByAction = make(map[string]uint64)
 	}
 	rp.ByAction[op+"/"+action]++
+	if len(r.lats) < maxLatSamples {
+		r.lats = append(r.lats, rounds)
+	} else {
+		r.lats[r.latHead] = rounds
+		r.latHead = (r.latHead + 1) % maxLatSamples
+	}
 	r.event(Event{Type: "repair-done", Op: op, Action: action, Now: now})
 }
 
@@ -273,6 +287,13 @@ func (r *Recorder) Snapshot() Snapshot {
 		EventsDropped: r.eventsDropped,
 	}
 	s.Repairs.ByAction = copyMap(r.repairs.ByAction)
+	if len(r.lats) > 0 {
+		sorted := append([]int64(nil), r.lats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.Repairs.RoundsP50 = nearestRank(sorted, 50)
+		s.Repairs.RoundsP90 = nearestRank(sorted, 90)
+		s.Repairs.RoundsP99 = nearestRank(sorted, 99)
+	}
 	s.Counts = copyMap(r.counts)
 	for id, kc := range r.byKind {
 		if kc.Messages != 0 || kc.Bits != 0 {
@@ -293,6 +314,15 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.Events = append(s.Events, r.events[:r.eventHead]...)
 	}
 	return s
+}
+
+// nearestRank is the nearest-rank percentile of a sorted sample.
+func nearestRank(sorted []int64, pct int) int64 {
+	idx := (pct*len(sorted) + 99) / 100 // ceil(pct/100 * n)
+	if idx < 1 {
+		idx = 1
+	}
+	return sorted[idx-1]
 }
 
 func copyMap(m map[string]uint64) map[string]uint64 {

@@ -101,6 +101,11 @@ func TestPhaseAggAndRepairStats(t *testing.T) {
 	if rp.Finished != 3 || rp.RoundsMin != 3 || rp.RoundsMax != 31 || rp.RoundsSum != 41 {
 		t.Errorf("repair stats = %+v", rp)
 	}
+	// Nearest-rank over {3, 7, 31}: P50 = 2nd, P90/P99 = 3rd.
+	if rp.RoundsP50 != 7 || rp.RoundsP90 != 31 || rp.RoundsP99 != 31 {
+		t.Errorf("latency percentiles = p50:%d p90:%d p99:%d, want 7/31/31",
+			rp.RoundsP50, rp.RoundsP90, rp.RoundsP99)
+	}
 	if rp.ByAction["mst.delete/LocalFix"] != 2 || rp.ByAction["mst.delete/Rebuild"] != 1 {
 		t.Errorf("by-action = %v", rp.ByAction)
 	}

@@ -181,7 +181,17 @@ func Insert(nw *congest.Network, pr *tree.Protocol, a, b congest.NodeID, cfg Rep
 // runContains asks, with one broadcast-and-echo, whether target is in
 // root's tree.
 func runContains(p *congest.Proc, pr *tree.Protocol, root, target congest.NodeID) (bool, error) {
-	spec := &tree.Spec{
+	v, err := pr.BroadcastEcho(p, root, containsSpec(target))
+	if err != nil {
+		return false, err
+	}
+	return v.(bool), nil
+}
+
+// containsSpec builds the membership broadcast-and-echo spec; shared by the
+// blocking driver above and the wave-mode storm machine.
+func containsSpec(target congest.NodeID) *tree.Spec {
+	return &tree.Spec{
 		Down:     target,
 		DownBits: 32,
 		UpBits:   1,
@@ -196,9 +206,4 @@ func runContains(p *congest.Proc, pr *tree.Protocol, root, target congest.NodeID
 			return found
 		},
 	}
-	v, err := pr.BroadcastEcho(p, root, spec)
-	if err != nil {
-		return false, err
-	}
-	return v.(bool), nil
 }
