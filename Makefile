@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-micro bench-ci bench-1m bench-history bench-baseline bench-check obs-demo storm-demo clean
+.PHONY: build test race vet bench bench-micro bench-ci bench-1m bench-history bench-baseline bench-check obs-demo storm-demo serve-demo clean
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,19 @@ obs-demo:
 # "repairs" at /timeline, kkt_trial_repair_rounds at /metrics).
 storm-demo:
 	$(GO) run ./cmd/kkt run mst-repair/gnm-100k/storm --trials 1 --shards $$(nproc) --obs-listen :8080 --obs-hold --footprint
+
+# Serving-mode demo: a live topology-maintenance daemon over a 100k-node
+# graph under sustained churn, one shard per core. While it runs, :8080
+# serves the usual /timeline, /metrics and pprof endpoints plus the
+# WebSocket push stream at /ws — subscribe with
+# `go run ./cmd/kkt ws localhost:8080`. Durable state checkpoints to
+# /tmp/kkt-serve.ckpt every 4 epochs; kill the daemon at any point and
+# re-run with `--resume` appended to pick up where it left off.
+serve-demo:
+	$(GO) run ./cmd/kkt serve --family gnm --n 100000 --m 300000 --graph-seed 1 \
+		--seed 1 --shards $$(nproc) --epoch-events 128 --events 16384 \
+		--churn tree-deletes=24,deletes=16,inserts=16,weight-changes=8 \
+		--checkpoint /tmp/kkt-serve.ckpt --checkpoint-every 4 --obs-listen :8080
 
 clean:
 	rm -f BENCH_ci.json BENCH_suite.json BENCH_micro_ci.json BENCH_1m.json BENCH_history.md

@@ -11,10 +11,15 @@
 //	kkt bench [--filter SUBSTR] [--exclude SUBSTRS] [--trials N] [--seed S]
 //	          [--workers W] [--shards S] [--json] [--out FILE] [--quiet]
 //	          [--timeout D] [--obs-listen ADDR] [--obs-hold]
+//	kkt serve [graph flags | --trace FILE] [--events N] [--epoch-events N]
+//	          [--churn PLAN] [--checkpoint FILE] [--resume] [--obs-listen ADDR]
+//	kkt trace [graph flags] --churn PLAN [--events N] [--out FILE]
+//	kkt ws URL [--max N] [--timeout D]
 //
 // --obs-listen serves live observability while trials run: JSON snapshots at
 // /timeline, Prometheus text at /metrics, and net/http/pprof at
-// /debug/pprof/. Observation is passive — reports stay byte-identical with
+// /debug/pprof/. Under `kkt serve` it additionally mounts a WebSocket push
+// stream at /ws. Observation is passive — reports stay byte-identical with
 // it on or off.
 package main
 
@@ -53,6 +58,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdRun(args[1:], stdout, stderr)
 	case "bench":
 		err = cmdBench(args[1:], stdout, stderr)
+	case "serve":
+		err = cmdServe(args[1:], stdout, stderr)
+	case "trace":
+		err = cmdTrace(args[1:], stdout, stderr)
+	case "ws":
+		err = cmdWS(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stderr)
 	default:
@@ -101,6 +112,9 @@ Commands:
   list   show the registered scenarios
   run    run one scenario and print its metrics
   bench  run the suite and write a BENCH_*.json report
+  serve  run the topology-maintenance daemon over an update stream
+  trace  compile a fault plan into a replayable trace file
+  ws     subscribe to a serve daemon's WebSocket push stream
 
 Run 'kkt <command> -h' for command flags.
 `)
@@ -201,7 +215,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	cfg := rf.runConfig()
 	var stopObs func()
 	if of.listen != "" {
-		st, stop, err := startObsServer(of.listen, stderr)
+		st, stop, err := of.start(stderr, nil)
 		if err != nil {
 			return err
 		}
@@ -270,7 +284,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	cfg := rf.runConfig().Normalized()
 	var stopObs func()
 	if of.listen != "" {
-		st, stop, err := startObsServer(of.listen, stderr)
+		st, stop, err := of.start(stderr, nil)
 		if err != nil {
 			return err
 		}

@@ -22,24 +22,29 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"syscall"
+	"time"
 
 	"kkt/internal/congest"
 	"kkt/internal/harness"
 	"kkt/internal/obsv"
 )
 
-// obsFlags are the observability flags shared by run and bench.
+// obsFlags are the observability flags shared by run, bench and serve.
 type obsFlags struct {
-	listen string
-	hold   bool
+	listen   string
+	hold     bool
+	addrFile string
 }
 
 func addObsFlags(fs *flag.FlagSet, of *obsFlags) {
 	fs.StringVar(&of.listen, "obs-listen", "", "serve live observability on this address (JSON /timeline, Prometheus /metrics, pprof /debug/pprof/)")
 	fs.BoolVar(&of.hold, "obs-hold", false, "with --obs-listen: keep serving after the run completes, until interrupted")
+	fs.StringVar(&of.addrFile, "obs-addr-file", "", "with --obs-listen: write the actually-bound address to this file (lets scripts use ':0' ephemeral ports)")
 }
 
 // validate rejects flag combinations that would silently do nothing:
@@ -51,7 +56,30 @@ func (of *obsFlags) validate(stderr io.Writer) error {
 		fmt.Fprintln(stderr, "kkt:", err)
 		return usageError{err}
 	}
+	if of.addrFile != "" && of.listen == "" {
+		err := errors.New("--obs-addr-file requires --obs-listen: there is no bound address to write")
+		fmt.Fprintln(stderr, "kkt:", err)
+		return usageError{err}
+	}
 	return nil
+}
+
+// start binds the observability server and, if requested, publishes the
+// actually-bound address to --obs-addr-file — the contract that lets
+// smoke gates use ':0' instead of hard-coding ports. extra (optional)
+// mounts additional handlers on the mux before serving starts.
+func (of *obsFlags) start(stderr io.Writer, extra func(*http.ServeMux)) (*obsState, func(), error) {
+	st, bound, stop, err := startObsServer(of.listen, stderr, extra)
+	if err != nil {
+		return nil, nil, err
+	}
+	if of.addrFile != "" {
+		if werr := os.WriteFile(of.addrFile, []byte(bound+"\n"), 0o644); werr != nil {
+			stop()
+			return nil, nil, fmt.Errorf("obs-addr-file: %w", werr)
+		}
+	}
+	return st, stop, nil
 }
 
 // obsState is the live registry behind the endpoints.
@@ -96,14 +124,49 @@ func (st *obsState) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(obsTimeline{Trials: st.snapshots()})
 }
 
+// procStart anchors kkt_uptime_seconds.
+var procStart = time.Now()
+
+// buildVersion reports the module version baked into the binary, or
+// "devel" when built from a working tree.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// promWriter emits Prometheus text format with the exposition-format
+// guarantee that each metric family's HELP/TYPE header appears exactly
+// once, no matter how many call sites contribute samples to it.
+type promWriter struct {
+	w    io.Writer
+	seen map[string]bool
+}
+
+func newPromWriter(w io.Writer) *promWriter {
+	return &promWriter{w: w, seen: make(map[string]bool)}
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
 // handleMetrics renders the snapshots in Prometheus text format. Written by
 // hand: the repo takes no dependencies beyond the standard library.
 func (st *obsState) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snaps := st.snapshots()
-	writeHelp := func(name, help, typ string) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-	}
+	pw := newPromWriter(w)
+	writeHelp := pw.family
+	writeHelp("kkt_build_info", "Build metadata; the value is always 1.", "gauge")
+	fmt.Fprintf(w, "kkt_build_info{version=%q,goversion=%q} 1\n", buildVersion(), runtime.Version())
+	writeHelp("kkt_uptime_seconds", "Seconds since the kkt process started.", "gauge")
+	fmt.Fprintf(w, "kkt_uptime_seconds %.3f\n", time.Since(procStart).Seconds())
 	writeHelp("kkt_trial_messages_total", "Messages sent by the trial so far.", "counter")
 	for _, s := range snaps {
 		fmt.Fprintf(w, "kkt_trial_messages_total{trial=%q} %d\n", s.Label, s.Messages)
@@ -151,8 +214,9 @@ func (st *obsState) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // startObsServer binds addr and serves the endpoints until stop is called.
 // Binding happens synchronously so a bad address fails the command instead
-// of racing the run.
-func startObsServer(addr string, stderr io.Writer) (*obsState, func(), error) {
+// of racing the run, and the actually-bound address (resolving ':0') is
+// returned for --obs-addr-file and printed on stderr.
+func startObsServer(addr string, stderr io.Writer, extra func(*http.ServeMux)) (*obsState, string, func(), error) {
 	st := &obsState{}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/timeline", st.handleTimeline)
@@ -162,14 +226,26 @@ func startObsServer(addr string, stderr io.Writer) (*obsState, func(), error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if extra != nil {
+		extra(mux)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, fmt.Errorf("obs-listen: %w", err)
+		return nil, "", nil, fmt.Errorf("obs-listen: %w", err)
 	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	fmt.Fprintf(stderr, "kkt: observability on http://%s (/timeline, /metrics, /debug/pprof/)\n", ln.Addr())
-	return st, func() { _ = srv.Close() }, nil
+	bound := ln.Addr().String()
+	fmt.Fprintf(stderr, "kkt: observability on http://%s (/timeline, /metrics, /debug/pprof/)\n", bound)
+	return st, bound, func() { _ = srv.Close() }, nil
+}
+
+// addRecorder registers an externally-owned recorder (the serve daemon's)
+// so /timeline and /metrics cover it alongside harness trials.
+func (st *obsState) addRecorder(rec *obsv.Recorder) {
+	st.mu.Lock()
+	st.recs = append(st.recs, rec)
+	st.mu.Unlock()
 }
 
 // holdObs blocks until SIGINT/SIGTERM — the --obs-hold behavior that lets

@@ -147,156 +147,274 @@ func edgeOf(ev faultplan.Event) uint64 {
 	return a<<32 | b
 }
 
-// Run drains the event list through the launcher in waves. Each wave:
-// recompute wave-start component labels from the marked forest, admit
-// pending events in order under the claims discipline, run all admitted
-// drivers concurrently as continuation tasks on one engine Run, then apply
-// staged marks. Returns the accounting and the first driver/engine error.
-func Run(nw *congest.Network, events []faultplan.Event, l Launcher, cfg Config) (Stats, error) {
+// Queue is the drainable, suspendable form of the admission loop: events
+// are Pushed in batches (a serving daemon feeds it one ingest epoch at a
+// time), waves run one at a time via RunWave or to exhaustion via Drain,
+// and Suspend captures the pending backlog so a checkpointed daemon can
+// resume the exact admission schedule. Event indices are assigned at Push
+// and grow monotonically across batches: an event's operation seed is a
+// pure function of (Config.Seed, index), so a resumed queue derives the
+// same per-op seeds as an uninterrupted one.
+type Queue struct {
+	cfg   Config
+	stats Stats
+
+	pending []*item
+	nextIdx int
+
+	// per-wave scratch, reused across waves
+	uf      *unionFind
+	claimed map[int32]bool
+	blocked map[uint64]bool
+	wave    []launchItem
+}
+
+// NewQueue returns an empty queue with the given (defaulted) config.
+func NewQueue(cfg Config) *Queue {
 	cfg = cfg.withDefaults()
-	stats := Stats{Actions: make(map[string]int)}
-	pending := make([]*item, 0, len(events))
-	for i, ev := range events {
-		pending = append(pending, &item{idx: i, ev: ev})
+	return &Queue{
+		cfg:     cfg,
+		stats:   Stats{Actions: make(map[string]int)},
+		uf:      newUnionFind(),
+		claimed: make(map[int32]bool),
+		blocked: make(map[uint64]bool),
+		wave:    make([]launchItem, 0, cfg.Wave),
 	}
-	uf := newUnionFind()
-	claimed := make(map[int32]bool)
-	blocked := make(map[uint64]bool)
-	wave := make([]launchItem, 0, cfg.Wave)
+}
+
+// Push appends events to the pending backlog, assigning each the next
+// monotone index.
+func (q *Queue) Push(events ...faultplan.Event) {
+	for _, ev := range events {
+		q.pending = append(q.pending, &item{idx: q.nextIdx, ev: ev})
+		q.nextIdx++
+	}
+}
+
+// Pending returns the number of events not yet resolved (admitted inline,
+// or launched and finished).
+func (q *Queue) Pending() int { return len(q.pending) }
+
+// Stats returns the queue's cumulative accounting. The Actions map is
+// shared with the queue; callers must not mutate it while draining.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// RunWave executes one admission scan and, if any drivers were admitted,
+// one engine wave: recompute wave-start component labels from the marked
+// forest, admit pending events in order under the claims discipline, run
+// all admitted drivers concurrently as continuation tasks on one engine
+// Run, then apply staged marks. An all-backoff scan launches nothing but
+// still makes progress (delays decrement; the head of the queue admits at
+// delay 0). Returns the number of drivers launched.
+func (q *Queue) RunWave(nw *congest.Network, l Launcher) (int, error) {
+	if len(q.pending) == 0 {
+		return 0, nil
+	}
+	cfg := q.cfg
 	obs := nw.Obs()
 
-	for len(pending) > 0 {
-		// Wave-start labels: components of the currently-marked forest.
-		uf.reset(nw)
-		for k := range claimed {
-			delete(claimed, k)
-		}
-		for k := range blocked {
-			delete(blocked, k)
-		}
-		wave = wave[:0]
+	// Wave-start labels: components of the currently-marked forest.
+	q.uf.reset(nw)
+	for k := range q.claimed {
+		delete(q.claimed, k)
+	}
+	for k := range q.blocked {
+		delete(q.blocked, k)
+	}
+	wave := q.wave[:0]
 
-		claim := func(nodes ...congest.NodeID) bool {
-			for _, v := range nodes {
-				if claimed[uf.find(int32(v))] {
-					return false
-				}
+	claim := func(nodes ...congest.NodeID) bool {
+		for _, v := range nodes {
+			if q.claimed[q.uf.find(int32(v))] {
+				return false
 			}
-			for _, v := range nodes {
-				claimed[uf.find(int32(v))] = true
-			}
-			return true
 		}
+		for _, v := range nodes {
+			q.claimed[q.uf.find(int32(v))] = true
+		}
+		return true
+	}
 
-		next := pending[:0]
-		truncated := false
-		for _, it := range pending {
-			if truncated || len(wave) >= cfg.Wave {
-				// Over the cap: stop admitting; order among the rest is
-				// untouched, so no edge blocking is needed either.
-				truncated = true
-				next = append(next, it)
-				continue
-			}
-			k := edgeOf(it.ev)
-			if it.delay > 0 {
-				it.delay--
-				blocked[k] = true
-				next = append(next, it)
-				continue
-			}
-			if blocked[k] {
-				// A not-yet-admitted earlier event touches the same edge:
-				// admitting now would reorder same-edge operations.
-				it.retries++
-				stats.Retries++
-				it.delay = retryDelay(cfg, it)
-				next = append(next, it)
-				continue
-			}
-			dec := l.Admit(it.ev, cfg.Seed^uint64(it.idx+1)*opSeedPrime, claim)
-			switch {
-			case dec.Deferred:
-				it.retries++
-				stats.Retries++
-				it.delay = retryDelay(cfg, it)
-				blocked[k] = true
-				next = append(next, it)
-			case dec.Inline:
-				stats.Inline++
-				stats.Actions[dec.Action]++
-				if dec.Action == Skipped {
-					stats.Skipped++
-				} else if obs != nil {
-					// Zero-cost bracket, mirroring the sequential no-op
-					// paths.
-					obs.RepairStart(dec.Op, nw.Now())
-					obs.RepairDone(dec.Op, dec.Action, nw.Now(), 0, 0, 0)
-				}
-			default:
-				stats.Repairs++
-				// Block the admitted event's edge for the rest of the scan:
-				// a later same-wave event on this pair (even an
-				// inline-eligible one, e.g. an unmarked delete of a
-				// just-inserted edge) must not mutate the edge the driver
-				// is about to repair.
-				blocked[k] = true
-				wave = append(wave, launchItem{idx: it.idx, op: dec.Op, driver: dec.Driver})
-			}
-		}
-		pending = next
-		if len(wave) == 0 {
-			// Every pending event is sitting out a backoff delay; the scan
-			// above already decremented them, and the head of the queue
-			// always admits at delay 0, so this terminates.
+	next := q.pending[:0]
+	truncated := false
+	for _, it := range q.pending {
+		if truncated || len(wave) >= cfg.Wave {
+			// Over the cap: stop admitting; order among the rest is
+			// untouched, so no edge blocking is needed either.
+			truncated = true
+			next = append(next, it)
 			continue
 		}
-
-		base := nw.Counters()
-		baseTime := nw.Now()
-		if obs != nil {
-			for i := range wave {
-				obs.RepairStart(wave[i].op, baseTime)
-			}
+		k := edgeOf(it.ev)
+		if it.delay > 0 {
+			it.delay--
+			q.blocked[k] = true
+			next = append(next, it)
+			continue
 		}
-		waveNo := uint64(stats.Waves)
-		stats.Waves++
-		nw.Spawn("repair-wave", func(p *congest.Proc) error {
-			for i := range wave {
-				wave[i].task = p.GoStepTagged("repair", waveNo, uint64(wave[i].idx), wave[i].driver)
-			}
-			tasks := make([]*congest.Task, len(wave))
-			for i := range wave {
-				tasks[i] = wave[i].task
-			}
-			return p.WaitTasks(tasks...)
-		})
-		if err := nw.Run(); err != nil {
-			return stats, err
+		if q.blocked[k] {
+			// A not-yet-admitted earlier event touches the same edge:
+			// admitting now would reorder same-edge operations.
+			it.retries++
+			q.stats.Retries++
+			it.delay = retryDelay(cfg, it)
+			next = append(next, it)
+			continue
 		}
-		// Run returning implies full quiescence: every repair's staged
-		// marks (including far-half markx) are in flight no longer.
-		nw.ApplyStaged()
-
-		delta := nw.CountersSince(base)
-		dt := nw.Now() - baseTime
-		perMsgs := delta.Messages / uint64(len(wave))
-		perBits := delta.Bits / uint64(len(wave))
-		doneTime := nw.Now()
-		for i := range wave {
-			action := wave[i].driver.Action()
-			stats.Actions[action]++
-			if obs != nil {
-				// Wave-amortized cost: the engine interleaves the wave's
-				// repairs, so per-repair attribution is the even split.
-				obs.RepairDone(wave[i].op, action, doneTime, dt, perMsgs, perBits)
+		dec := l.Admit(it.ev, cfg.Seed^uint64(it.idx+1)*opSeedPrime, claim)
+		switch {
+		case dec.Deferred:
+			it.retries++
+			q.stats.Retries++
+			it.delay = retryDelay(cfg, it)
+			q.blocked[k] = true
+			next = append(next, it)
+		case dec.Inline:
+			q.stats.Inline++
+			q.stats.Actions[dec.Action]++
+			if dec.Action == Skipped {
+				q.stats.Skipped++
+			} else if obs != nil {
+				// Zero-cost bracket, mirroring the sequential no-op
+				// paths.
+				obs.RepairStart(dec.Op, nw.Now())
+				obs.RepairDone(dec.Op, dec.Action, nw.Now(), 0, 0, 0)
 			}
-			l.Release(wave[i].driver)
-			wave[i].driver = nil
-			wave[i].task = nil
+		default:
+			q.stats.Repairs++
+			// Block the admitted event's edge for the rest of the scan:
+			// a later same-wave event on this pair (even an
+			// inline-eligible one, e.g. an unmarked delete of a
+			// just-inserted edge) must not mutate the edge the driver
+			// is about to repair.
+			q.blocked[k] = true
+			wave = append(wave, launchItem{idx: it.idx, op: dec.Op, driver: dec.Driver})
 		}
 	}
-	return stats, nil
+	q.pending = next
+	q.wave = wave[:0] // retain capacity; entries are cleared below
+	if len(wave) == 0 {
+		// Every pending event is sitting out a backoff delay; the scan
+		// above already decremented them, and the head of the queue
+		// always admits at delay 0, so this terminates.
+		return 0, nil
+	}
+
+	base := nw.Counters()
+	baseTime := nw.Now()
+	if obs != nil {
+		for i := range wave {
+			obs.RepairStart(wave[i].op, baseTime)
+		}
+	}
+	waveNo := uint64(q.stats.Waves)
+	q.stats.Waves++
+	nw.Spawn("repair-wave", func(p *congest.Proc) error {
+		for i := range wave {
+			wave[i].task = p.GoStepTagged("repair", waveNo, uint64(wave[i].idx), wave[i].driver)
+		}
+		tasks := make([]*congest.Task, len(wave))
+		for i := range wave {
+			tasks[i] = wave[i].task
+		}
+		return p.WaitTasks(tasks...)
+	})
+	if err := nw.Run(); err != nil {
+		return len(wave), err
+	}
+	// Run returning implies full quiescence: every repair's staged
+	// marks (including far-half markx) are in flight no longer.
+	nw.ApplyStaged()
+
+	delta := nw.CountersSince(base)
+	dt := nw.Now() - baseTime
+	perMsgs := delta.Messages / uint64(len(wave))
+	perBits := delta.Bits / uint64(len(wave))
+	doneTime := nw.Now()
+	for i := range wave {
+		action := wave[i].driver.Action()
+		q.stats.Actions[action]++
+		if obs != nil {
+			// Wave-amortized cost: the engine interleaves the wave's
+			// repairs, so per-repair attribution is the even split.
+			obs.RepairDone(wave[i].op, action, doneTime, dt, perMsgs, perBits)
+		}
+		l.Release(wave[i].driver)
+		wave[i].driver = nil
+		wave[i].task = nil
+	}
+	return len(wave), nil
+}
+
+// Drain runs waves until the pending backlog is empty.
+func (q *Queue) Drain(nw *congest.Network, l Launcher) error {
+	for len(q.pending) > 0 {
+		if _, err := q.RunWave(nw, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PendingEvent is one suspended backlog entry.
+type PendingEvent struct {
+	Idx     int             `json:"idx"`
+	Event   faultplan.Event `json:"event"`
+	Delay   int             `json:"delay"`
+	Retries int             `json:"retries"`
+}
+
+// QueueState is a queue's serializable suspension record: the pending
+// backlog with its backoff schedule, the next event index, and the
+// cumulative accounting. Together with Config it reconstructs the queue
+// exactly (see ResumeQueue) — a daemon checkpoint embeds one.
+type QueueState struct {
+	NextIdx int            `json:"next_idx"`
+	Pending []PendingEvent `json:"pending,omitempty"`
+	Stats   Stats          `json:"stats"`
+}
+
+// Suspend captures the queue's current state. The queue remains usable;
+// the returned state deep-copies everything it shares with it.
+func (q *Queue) Suspend() QueueState {
+	st := QueueState{NextIdx: q.nextIdx, Stats: q.stats}
+	st.Stats.Actions = make(map[string]int, len(q.stats.Actions))
+	for k, v := range q.stats.Actions {
+		st.Stats.Actions[k] = v
+	}
+	for _, it := range q.pending {
+		st.Pending = append(st.Pending, PendingEvent{Idx: it.idx, Event: it.ev, Delay: it.delay, Retries: it.retries})
+	}
+	return st
+}
+
+// ResumeQueue reconstructs a suspended queue. The config must match the
+// one the state was captured under (the backoff hash and op seeds depend
+// on it); the caller owns that contract.
+func ResumeQueue(cfg Config, st QueueState) *Queue {
+	q := NewQueue(cfg)
+	q.nextIdx = st.NextIdx
+	if st.Stats.Actions != nil {
+		q.stats = st.Stats
+		q.stats.Actions = make(map[string]int, len(st.Stats.Actions))
+		for k, v := range st.Stats.Actions {
+			q.stats.Actions[k] = v
+		}
+	}
+	for _, pe := range st.Pending {
+		q.pending = append(q.pending, &item{idx: pe.Idx, ev: pe.Event, delay: pe.Delay, retries: pe.Retries})
+	}
+	return q
+}
+
+// Run drains the event list through the launcher in waves (see
+// Queue.RunWave for the wave discipline). Returns the accounting and the
+// first driver/engine error.
+func Run(nw *congest.Network, events []faultplan.Event, l Launcher, cfg Config) (Stats, error) {
+	q := NewQueue(cfg)
+	q.Push(events...)
+	err := q.Drain(nw, l)
+	return q.stats, err
 }
 
 func retryDelay(cfg Config, it *item) int {

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"kkt/internal/faultplan"
+)
+
+// Trace file format (see ARCHITECTURE.md "Serving & checkpointing"):
+//
+//	#kkt-trace v1 {"spec":{...GraphSpec...},"digest":"sha256:..."}
+//	d 17 43 0 partition
+//	i 9 12 811 heal
+//	w 3 77 402 random
+//
+// The header's JSON carries the seeded GraphSpec of the initial topology
+// plus its mark-free GraphDigest, so a replaying daemon rebuilds the
+// identical graph and refuses a mismatched one. Each following line is
+// one topology event: op (d=delete, i=insert, w=reweight), endpoints a b,
+// raw weight (0 for deletes), and the emitting plan stage (provenance
+// only; any single token). Blank lines and #-comments are skipped.
+
+const traceMagic = "#kkt-trace v1 "
+
+// TraceHeader identifies the initial topology a trace applies to.
+type TraceHeader struct {
+	Spec   GraphSpec `json:"spec"`
+	Digest string    `json:"digest"`
+}
+
+// WriteTrace serializes a header and event list in the trace format.
+func WriteTrace(w io.Writer, hdr TraceHeader, events []faultplan.Event) error {
+	bw := bufio.NewWriter(w)
+	blob, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "%s%s\n", traceMagic, blob)
+	for _, ev := range events {
+		var op byte
+		switch ev.Op {
+		case faultplan.OpDelete:
+			op = 'd'
+		case faultplan.OpInsert:
+			op = 'i'
+		case faultplan.OpWeightChange:
+			op = 'w'
+		default:
+			return fmt.Errorf("serve: trace: unknown op %v", ev.Op)
+		}
+		stage := ev.Stage
+		if stage == "" {
+			stage = "-"
+		}
+		fmt.Fprintf(bw, "%c %d %d %d %s\n", op, ev.A, ev.B, ev.Raw, stage)
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace file: header first, then the event list.
+func ReadTrace(r io.Reader) (TraceHeader, []faultplan.Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var hdr TraceHeader
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return hdr, nil, err
+		}
+		return hdr, nil, fmt.Errorf("serve: trace: empty file")
+	}
+	first := sc.Text()
+	if !strings.HasPrefix(first, traceMagic) {
+		return hdr, nil, fmt.Errorf("serve: trace: missing %q header", strings.TrimSpace(traceMagic))
+	}
+	if err := json.Unmarshal([]byte(first[len(traceMagic):]), &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("serve: trace: bad header: %w", err)
+	}
+	var events []faultplan.Event
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseTraceLine(line)
+		if err != nil {
+			return hdr, nil, fmt.Errorf("serve: trace line %d: %w", lineNo, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return hdr, nil, err
+	}
+	return hdr, events, nil
+}
+
+func parseTraceLine(line string) (faultplan.Event, error) {
+	var ev faultplan.Event
+	fields := strings.Fields(line)
+	if len(fields) != 4 && len(fields) != 5 {
+		return ev, fmt.Errorf("want 'op a b raw [stage]', got %d fields", len(fields))
+	}
+	switch fields[0] {
+	case "d":
+		ev.Op = faultplan.OpDelete
+	case "i":
+		ev.Op = faultplan.OpInsert
+	case "w":
+		ev.Op = faultplan.OpWeightChange
+	default:
+		return ev, fmt.Errorf("unknown op %q (want d, i or w)", fields[0])
+	}
+	a, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return ev, fmt.Errorf("bad endpoint a: %w", err)
+	}
+	b, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return ev, fmt.Errorf("bad endpoint b: %w", err)
+	}
+	raw, err := strconv.ParseUint(fields[3], 10, 64)
+	if err != nil {
+		return ev, fmt.Errorf("bad raw weight: %w", err)
+	}
+	if a == 0 || b == 0 || a == b {
+		return ev, fmt.Errorf("bad endpoints (%d, %d)", a, b)
+	}
+	if ev.Op != faultplan.OpDelete && raw == 0 {
+		return ev, fmt.Errorf("%s needs a raw weight >= 1", fields[0])
+	}
+	ev.A, ev.B, ev.Raw = uint32(a), uint32(b), raw
+	if len(fields) == 5 && fields[4] != "-" {
+		ev.Stage = fields[4]
+	}
+	return ev, nil
+}

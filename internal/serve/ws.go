@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Minimal RFC 6455 WebSocket support — handshake, frame codec, and a
+// dial-side client — hand-rolled on the stdlib so the daemon stays
+// dependency-free. Only what the push layer needs: single-frame text
+// messages (with continuation-frame reassembly on read for robustness),
+// ping/pong, and clean close. Server frames are unmasked, client frames
+// masked, per the RFC.
+
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+const (
+	opContinuation = 0x0
+	opText         = 0x1
+	opBinary       = 0x2
+	opClose        = 0x8
+	opPing         = 0x9
+	opPong         = 0xA
+)
+
+// wsMaxMessage bounds reassembled message size (full snapshots of a
+// 100k-node run stay well under this).
+const wsMaxMessage = 64 << 20
+
+// ErrClosed is returned by reads once the peer sends a close frame — the
+// clean end-of-stream signal for `kkt ws` and tests.
+var ErrClosed = errors.New("serve: websocket closed")
+
+func wsAcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// upgradeWS performs the server side of the opening handshake and hijacks
+// the connection. On failure it writes the HTTP error itself and returns
+// a nil conn.
+func upgradeWS(w http.ResponseWriter, r *http.Request) (net.Conn, *bufio.ReadWriter) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket: GET required", http.StatusMethodNotAllowed)
+		return nil, nil
+	}
+	if !headerContainsToken(r.Header, "Connection", "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "websocket: upgrade headers missing", http.StatusBadRequest)
+		return nil, nil
+	}
+	if r.Header.Get("Sec-WebSocket-Version") != "13" {
+		http.Error(w, "websocket: version 13 required", http.StatusBadRequest)
+		return nil, nil
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "websocket: Sec-WebSocket-Key missing", http.StatusBadRequest)
+		return nil, nil
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket: hijacking unsupported", http.StatusInternalServerError)
+		return nil, nil
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		http.Error(w, "websocket: hijack failed", http.StatusInternalServerError)
+		return nil, nil
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAcceptKey(key) + "\r\n\r\n"
+	if _, err := brw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, nil
+	}
+	if err := brw.Flush(); err != nil {
+		conn.Close()
+		return nil, nil
+	}
+	return conn, brw
+}
+
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writeFrame emits one frame (FIN always set; we never fragment writes).
+func writeFrame(w io.Writer, op byte, masked bool, payload []byte) error {
+	var hdr [14]byte
+	hdr[0] = 0x80 | op
+	n := 2
+	switch {
+	case len(payload) < 126:
+		hdr[1] = byte(len(payload))
+	case len(payload) <= 0xffff:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(payload)))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(len(payload)))
+		n = 10
+	}
+	if !masked {
+		if _, err := w.Write(hdr[:n]); err != nil {
+			return err
+		}
+		_, err := w.Write(payload)
+		return err
+	}
+	hdr[1] |= 0x80
+	var mask [4]byte
+	if _, err := rand.Read(mask[:]); err != nil {
+		return err
+	}
+	copy(hdr[n:n+4], mask[:])
+	n += 4
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	body := make([]byte, len(payload))
+	for i, b := range payload {
+		body[i] = b ^ mask[i&3]
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one raw frame, unmasking if needed.
+func readFrame(r *bufio.Reader) (fin bool, op byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return
+	}
+	fin = hdr[0]&0x80 != 0
+	op = hdr[0] & 0x0f
+	masked := hdr[1]&0x80 != 0
+	length := uint64(hdr[1] & 0x7f)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(r, ext[:]); err != nil {
+			return
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(r, ext[:]); err != nil {
+			return
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > wsMaxMessage {
+		err = fmt.Errorf("serve: websocket frame of %d bytes exceeds limit", length)
+		return
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(r, mask[:]); err != nil {
+			return
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i&3]
+		}
+	}
+	return
+}
+
+// readMessage reassembles one data message, transparently answering pings
+// and returning ErrClosed on a close frame. answer writes control
+// responses (pong/close echo); it may be nil to drop them.
+func readMessage(r *bufio.Reader, answer func(op byte, payload []byte) error) (byte, []byte, error) {
+	var (
+		msgOp  byte
+		msg    []byte
+		inProg bool
+	)
+	for {
+		fin, op, payload, err := readFrame(r)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch op {
+		case opPing:
+			if answer != nil {
+				if err := answer(opPong, payload); err != nil {
+					return 0, nil, err
+				}
+			}
+			continue
+		case opPong:
+			continue
+		case opClose:
+			if answer != nil {
+				answer(opClose, payload)
+			}
+			return 0, nil, ErrClosed
+		case opContinuation:
+			if !inProg {
+				return 0, nil, errors.New("serve: websocket continuation without start")
+			}
+		case opText, opBinary:
+			if inProg {
+				return 0, nil, errors.New("serve: websocket interleaved data frames")
+			}
+			msgOp, inProg = op, true
+		default:
+			return 0, nil, fmt.Errorf("serve: websocket reserved opcode %#x", op)
+		}
+		if len(msg)+len(payload) > wsMaxMessage {
+			return 0, nil, errors.New("serve: websocket message exceeds size limit")
+		}
+		msg = append(msg, payload...)
+		if fin {
+			return msgOp, msg, nil
+		}
+	}
+}
+
+// WSConn is a dialed client connection — what `kkt ws` and the smoke
+// tests read the push stream with.
+type WSConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// DialWS connects and performs the client handshake. Accepts ws:// or
+// http:// URLs (a bare host:port/path works too).
+func DialWS(rawURL string, timeout time.Duration) (*WSConn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	switch u.Scheme {
+	case "ws", "http", "":
+	default:
+		return nil, fmt.Errorf("serve: unsupported websocket scheme %q", u.Scheme)
+	}
+	host := u.Host
+	if host == "" {
+		host = u.Path // bare "host:port"
+		u.Path = "/"
+	}
+	if u.Path == "" {
+		u.Path = "/"
+	}
+	conn, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, err
+	}
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n",
+		u.RequestURI(), host, key)
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		conn.Close()
+		return nil, fmt.Errorf("serve: websocket handshake refused: %s", resp.Status)
+	}
+	if got, want := resp.Header.Get("Sec-WebSocket-Accept"), wsAcceptKey(key); got != want {
+		conn.Close()
+		return nil, fmt.Errorf("serve: websocket accept key mismatch")
+	}
+	if timeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	return &WSConn{conn: conn, br: br}, nil
+}
+
+// SetReadDeadline bounds the next ReadMessage.
+func (c *WSConn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// ReadMessage returns the next data message's payload, answering pings
+// and returning an error once the server closes.
+func (c *WSConn) ReadMessage() ([]byte, error) {
+	_, msg, err := readMessage(c.br, func(op byte, payload []byte) error {
+		return writeFrame(c.conn, op, true, payload)
+	})
+	return msg, err
+}
+
+// WriteMessage sends one masked text message.
+func (c *WSConn) WriteMessage(payload []byte) error {
+	return writeFrame(c.conn, opText, true, payload)
+}
+
+// Close sends a close frame and tears down the connection.
+func (c *WSConn) Close() error {
+	writeFrame(c.conn, opClose, true, nil)
+	return c.conn.Close()
+}

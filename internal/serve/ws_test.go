@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kkt/internal/faultplan"
+	"kkt/internal/obsv"
+	"kkt/internal/race"
+)
+
+// TestWSAcceptKey pins the RFC 6455 §1.3 worked example.
+func TestWSAcceptKey(t *testing.T) {
+	if got, want := wsAcceptKey("dGhlIHNhbXBsZSBub25jZQ=="), "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="; got != want {
+		t.Errorf("accept key = %q, want %q", got, want)
+	}
+}
+
+// TestHubStream subscribes a real dialed client to a hub and checks the
+// full-then-delta protocol: first message carries a full snapshot, later
+// ones deltas, and applying the deltas tracks the publisher's recorder.
+func TestHubStream(t *testing.T) {
+	hub := NewHub()
+	rec := obsv.NewRecorder("ws-test")
+	pub := NewPublisher(hub, rec)
+	srv := httptest.NewServer(hub)
+	defer srv.Close()
+
+	c, err := DialWS(strings.Replace(srv.URL, "http://", "ws://", 1)+"/stream", 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	for i := 0; i < 100 && hub.Subscribers() == 0; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if hub.Subscribers() != 1 {
+		t.Fatal("subscriber never registered")
+	}
+
+	var byKind []congestKindCounts
+	_ = byKind
+	kinds := makeKindScratch()
+	for i := 0; i < 30; i++ {
+		driveStepServe(rec, i, kinds)
+		pub.Publish(ServeStats{Epoch: i / 10, EventsDone: i, EventsTotal: 30, QueueDepth: 30 - i})
+	}
+
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var state obsv.Snapshot
+	var got int
+	var sawDelta bool
+	for got < 5 {
+		raw, err := c.ReadMessage()
+		if err != nil {
+			t.Fatalf("read message %d: %v", got, err)
+		}
+		var msg PushMsg
+		if err := json.Unmarshal(raw, &msg); err != nil {
+			t.Fatalf("bad push message: %v", err)
+		}
+		switch {
+		case msg.Full != nil:
+			state = *msg.Full
+		case msg.Delta != nil:
+			if got == 0 {
+				t.Fatal("first message was a delta, want full snapshot")
+			}
+			sawDelta = true
+			state = obsv.Apply(state, *msg.Delta)
+		default:
+			t.Fatal("push message with neither full nor delta")
+		}
+		if msg.Serve.EventsTotal != 30 {
+			t.Errorf("serve stats missing: %+v", msg.Serve)
+		}
+		got++
+	}
+	if !sawDelta {
+		t.Error("stream never switched to deltas")
+	}
+	if state.Repairs.Finished == 0 && state.Messages == 0 {
+		t.Error("reconstructed snapshot is empty")
+	}
+}
+
+// TestHubSlowClientResync overflows a subscriber's bounded buffer (a
+// registered client whose channel nobody drains — the slow-reader case),
+// then drains it and checks the next delivery is a full-snapshot resync
+// carrying the drop count. Uses the hub's internals directly so the
+// overflow is deterministic rather than at the mercy of socket buffers.
+func TestHubSlowClientResync(t *testing.T) {
+	hub := NewHub()
+	rec := obsv.NewRecorder("slow-test")
+	pub := NewPublisher(hub, rec)
+
+	c := &hubClient{ch: make(chan []byte, hubClientBuffer), closed: make(chan struct{})}
+	c.needFull.Store(true)
+	hub.mu.Lock()
+	hub.clients[c] = struct{}{}
+	hub.mu.Unlock()
+	hub.subs.Add(1)
+
+	// Publish past the buffer capacity without draining: the overflow
+	// must be counted and flagged, never block the publisher.
+	kinds := makeKindScratch()
+	for i := 0; i < hubClientBuffer*2; i++ {
+		driveStepServe(rec, i, kinds)
+		pub.Publish(ServeStats{EventsDone: i})
+	}
+	if c.drops.Load() == 0 {
+		t.Fatal("overflowed client counted no drops")
+	}
+	if !c.needFull.Load() {
+		t.Fatal("overflowed client not flagged for resync")
+	}
+
+	// Drain, then publish once more: the delivery after a gap must be a
+	// full snapshot reporting the gap size.
+	for len(c.ch) > 0 {
+		<-c.ch
+	}
+	wantDrops := c.drops.Load()
+	driveStepServe(rec, 999, kinds)
+	pub.Publish(ServeStats{EventsDone: 999})
+	var msg PushMsg
+	if err := json.Unmarshal(<-c.ch, &msg); err != nil {
+		t.Fatal(err)
+	}
+	if msg.Full == nil {
+		t.Error("resync after drops did not carry a full snapshot")
+	}
+	if msg.Drops != wantDrops {
+		t.Errorf("resync reports %d drops, want %d", msg.Drops, wantDrops)
+	}
+}
+
+// TestPublishDisabledAllocs is the acceptance gate on the disabled path:
+// with zero subscribers, Publish must not allocate (or snapshot, or
+// diff) at all.
+func TestPublishDisabledAllocs(t *testing.T) {
+	race.SkipAllocTest(t)
+	hub := NewHub()
+	rec := obsv.NewRecorder("idle")
+	kinds := makeKindScratch()
+	for i := 0; i < 100; i++ {
+		driveStepServe(rec, i, kinds)
+	}
+	pub := NewPublisher(hub, rec)
+	ss := ServeStats{Epoch: 1, EventsDone: 50, EventsTotal: 100}
+	if allocs := testing.AllocsPerRun(1000, func() { pub.Publish(ss) }); allocs != 0 {
+		t.Errorf("Publish with no subscribers allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestServeWSEndToEnd runs a real (small) daemon with a hub wired into
+// its wave callbacks and asserts a subscriber sees live repair deltas —
+// the in-process version of the CI smoke gate.
+func TestServeWSEndToEnd(t *testing.T) {
+	hub := NewHub()
+	rec := obsv.NewRecorder("e2e")
+	pub := NewPublisher(hub, rec)
+	srv := httptest.NewServer(hub)
+	defer srv.Close()
+
+	c, err := DialWS(srv.URL, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 100 && hub.Subscribers() == 0; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cfg := Config{
+		Spec:        GraphSpec{Family: "gnm", N: 40, M: 120, Seed: 3},
+		Algo:        "mst",
+		Seed:        21,
+		Wave:        4,
+		EpochEvents: 8,
+		Events:      32,
+		Churn:       faultplan.Plan{TreeEdgeDeletes: 3, Deletes: 2, Inserts: 2, WeightChanges: 1},
+		Observer:    rec,
+	}
+	cfg.OnWave = func(wi WaveInfo) {
+		pub.Publish(ServeStats{
+			Epoch: wi.Epoch, EventsDone: wi.Stats.Repairs + wi.Stats.Inline, EventsTotal: cfg.Events,
+			QueueDepth: wi.Pending, Repairs: wi.Stats.Repairs, Waves: wi.Stats.Waves, Retries: wi.Stats.Retries,
+		})
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var state obsv.Snapshot
+	sawRepair := false
+	for i := 0; i < 200 && !sawRepair; i++ {
+		raw, err := c.ReadMessage()
+		if err != nil {
+			break // stream drained
+		}
+		var msg PushMsg
+		if err := json.Unmarshal(raw, &msg); err != nil {
+			t.Fatal(err)
+		}
+		if msg.Full != nil {
+			state = *msg.Full
+		} else if msg.Delta != nil {
+			state = obsv.Apply(state, *msg.Delta)
+		}
+		if state.Repairs.Finished > 0 {
+			sawRepair = true
+		}
+	}
+	if !sawRepair {
+		t.Error("subscriber never saw a finished repair in the live stream")
+	}
+}
+
+// --- test helpers -----------------------------------------------------
+
+type congestKindCounts = struct{ Messages, Bits uint64 }
+
+func makeKindScratch() []congestKindCounts {
+	return make([]congestKindCounts, 8)
+}
+
+// driveStepServe mirrors the obsv package's test driver: one scripted
+// engine step of observer traffic.
+func driveStepServe(r *obsv.Recorder, i int, kinds []congestKindCounts) {
+	kinds[0].Messages += uint64(i%5 + 1)
+	kinds[0].Bits += uint64(i % 31)
+	r.RoundEnd(int64(i+1), uint64(7*i), uint64(120*i), nil, nil)
+	switch i % 3 {
+	case 0:
+		r.RepairStart("mst.delete", int64(i+1))
+		r.RepairDone("mst.delete", "replace", int64(i+1), int64(i%9+1), uint64(i), uint64(2*i))
+	case 1:
+		r.Count("wave.launched", 1)
+	}
+}
