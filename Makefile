@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-micro bench-ci bench-1m bench-history bench-baseline bench-check obs-demo storm-demo serve-demo clean
+.PHONY: build test race vet bench bench-micro bench-ci bench-1m bench-history bench-baseline bench-check scaling scaling-ci obs-demo storm-demo serve-demo clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,20 @@ bench-1m:
 HISTORY_REPORTS ?= BENCH_ci.json
 bench-history:
 	$(GO) run ./cmd/benchcheck history -format md -o BENCH_history.md $(HISTORY_REPORTS)
+
+# Empirical o(m) verification sweep: ladder the KKT build against the GHS
+# and flood baselines on a density-growing gnm ladder (m = n²/8), fit the
+# messages-vs-m exponents, and run the one-sided Welch separation test.
+# Emits SCALING_sweep.json; render it with
+# `go run ./cmd/benchcheck scaling SCALING_sweep.json`. See the README's
+# "Measuring the o(m) claim" section.
+scaling:
+	$(GO) run ./cmd/kkt scaling --families gnm --algos mst,ghs,flood --seeds 3 --out SCALING_sweep.json
+
+# The reduced-ladder smoke sweep CI runs (≤30s): pipeline coverage, not
+# statistical power.
+scaling-ci:
+	$(GO) run ./cmd/kkt scaling --families gnm --algos mst,flood --ladder 128:512:3 --seeds 2 --quiet --out SCALING_ci.json
 
 # Refresh the committed perf baseline from the pinned micro-benchmarks.
 # Run on the reference machine after an intentional perf change, commit
@@ -87,4 +101,5 @@ serve-demo:
 		--checkpoint /tmp/kkt-serve.ckpt --checkpoint-every 4 --obs-listen :8080
 
 clean:
-	rm -f BENCH_ci.json BENCH_suite.json BENCH_micro_ci.json BENCH_1m.json BENCH_history.md
+	rm -f BENCH_ci.json BENCH_suite.json BENCH_micro_ci.json BENCH_1m.json BENCH_history.md \
+		SCALING_sweep.json SCALING_ci.json SCALING_history.md

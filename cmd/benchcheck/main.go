@@ -5,6 +5,7 @@
 //	benchcheck parse [-o out.json]            # stdin: go test -bench output
 //	benchcheck compare -baseline a.json -fresh b.json [-ns-tol 0.20] [-allocs-tol 0.02]
 //	benchcheck history [-format md|csv] [-metric messages|bits|time] [-o out] BENCH_ci.json...
+//	benchcheck scaling [-format md|csv] [-o out] SCALING_ci.json...
 //
 // compare exits non-zero when a pinned micro-benchmark regresses: an
 // allocs/op increase beyond its (small) relative tolerance — which keeps
@@ -54,6 +55,8 @@ func main() {
 		os.Exit(cmdCompare(os.Args[2:]))
 	case "history":
 		os.Exit(cmdHistory(os.Args[2:]))
+	case "scaling":
+		os.Exit(cmdScaling(os.Args[2:]))
 	default:
 		usage()
 	}
@@ -63,6 +66,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: benchcheck parse [-o out.json] < bench-output")
 	fmt.Fprintln(os.Stderr, "       benchcheck compare -baseline a.json -fresh b.json [-ns-tol 0.20] [-allocs-tol 0.02]")
 	fmt.Fprintln(os.Stderr, "       benchcheck history [-format md|csv] [-metric messages|bits|time] [-o out] report.json...")
+	fmt.Fprintln(os.Stderr, "       benchcheck scaling [-format md|csv] [-o out] SCALING_report.json...")
 	os.Exit(2)
 }
 

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the `scaling` subcommand: it folds a sequence of per-commit
+// SCALING_*.json sweep reports (the artifact `kkt scaling` emits) into a
+// slope-trajectory table, markdown or CSV — the scaling counterpart of the
+// bench `history` pipeline. The markdown tracks the fitted cost-vs-m
+// exponents across commits; a KKT exponent drifting up toward the
+// baselines' is the regression this artifact exists to surface.
+
+// scalingReport is the subset of the sweep report (schema kkt/scaling/v1)
+// the trajectory needs. Decoded structurally instead of importing
+// internal/scaling: the tool must keep reading old artifacts even as the
+// sweep types evolve.
+type scalingReport struct {
+	Schema  string `json:"schema"`
+	Seed    uint64 `json:"seed"`
+	Seeds   int    `json:"seeds"`
+	Density string `json:"density"`
+	Ladder  []int  `json:"ladder"`
+	Cells   []struct {
+		Family string `json:"family"`
+		Algo   string `json:"algo"`
+		Rungs  []struct {
+			N      int `json:"n"`
+			Points []struct {
+				Seed     uint64 `json:"seed"`
+				M        int    `json:"m"`
+				Messages uint64 `json:"messages"`
+				Bits     uint64 `json:"bits"`
+				Time     int64  `json:"time"`
+				Valid    bool   `json:"valid"`
+				Error    string `json:"error"`
+			} `json:"points"`
+		} `json:"rungs"`
+		Fits struct {
+			Messages scalingFit `json:"messages"`
+			Bits     scalingFit `json:"bits"`
+		} `json:"fits"`
+	} `json:"cells"`
+	Separations []struct {
+		Family    string  `json:"family"`
+		KKT       string  `json:"kkt"`
+		Baseline  string  `json:"baseline"`
+		Gap       float64 `json:"gap"`
+		WelchT    float64 `json:"welch_t"`
+		DF        float64 `json:"df"`
+		Separated bool    `json:"separated"`
+	} `json:"separations"`
+}
+
+type scalingFit struct {
+	Slope float64 `json:"slope"`
+	R2    float64 `json:"r2"`
+	CILo  float64 `json:"ci_lo"`
+	CIHi  float64 `json:"ci_hi"`
+	Error string  `json:"error"`
+}
+
+// scalingColumn is one sweep report in the trajectory, labelled by its
+// file name.
+type scalingColumn struct {
+	label  string
+	report scalingReport
+}
+
+func cmdScaling(args []string) int {
+	fs := flag.NewFlagSet("scaling", flag.ExitOnError)
+	format := fs.String("format", "md", "output format: md or csv")
+	out := fs.String("o", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck scaling [-format md|csv] [-o out] SCALING_report.json...")
+		return 2
+	}
+	cols, err := loadScaling(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		return 1
+	}
+	var buf strings.Builder
+	switch *format {
+	case "md":
+		writeScalingMarkdown(&buf, cols)
+	case "csv":
+		writeScalingCSV(&buf, cols)
+	default:
+		fmt.Fprintf(os.Stderr, "benchcheck: unknown format %q (want md or csv)\n", *format)
+		return 2
+	}
+	if *out == "" {
+		os.Stdout.WriteString(buf.String())
+		return 0
+	}
+	if err := os.WriteFile(*out, []byte(buf.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		return 1
+	}
+	return 0
+}
+
+func loadScaling(paths []string) ([]scalingColumn, error) {
+	cols := make([]scalingColumn, 0, len(paths))
+	for _, path := range paths {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep scalingReport
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if !strings.HasPrefix(rep.Schema, "kkt/scaling/") {
+			return nil, fmt.Errorf("%s: schema %q is not a kkt scaling report", path, rep.Schema)
+		}
+		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		cols = append(cols, scalingColumn{label: label, report: rep})
+	}
+	return cols, nil
+}
+
+// scalingCells returns family/algo cell keys in first-seen order across
+// the columns.
+func scalingCells(cols []scalingColumn) []string {
+	var keys []string
+	seen := make(map[string]bool)
+	for _, c := range cols {
+		for _, cell := range c.report.Cells {
+			k := cell.Family + "/" + cell.Algo
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// writeScalingMarkdown renders the slope trajectory — one row per cell,
+// one column per report, cells carrying the fitted messages exponent with
+// its 95% CI — then the newest report's separation verdicts and per-rung
+// mean costs.
+func writeScalingMarkdown(w io.Writer, cols []scalingColumn) {
+	fmt.Fprint(w, "# Scaling trajectory — fitted messages-vs-m exponents\n\n")
+	fmt.Fprint(w, "| family/algo |")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %s |", c.label)
+	}
+	fmt.Fprint(w, "\n|---|")
+	for range cols {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, key := range scalingCells(cols) {
+		fmt.Fprintf(w, "| %s |", key)
+		for _, c := range cols {
+			cell := ""
+			for _, cc := range c.report.Cells {
+				if cc.Family+"/"+cc.Algo != key {
+					continue
+				}
+				f := cc.Fits.Messages
+				if f.Error != "" {
+					cell = "fit error"
+				} else {
+					cell = fmt.Sprintf("%.3f [%.3f, %.3f]", f.Slope, f.CILo, f.CIHi)
+				}
+				break
+			}
+			fmt.Fprintf(w, " %s |", cell)
+		}
+		fmt.Fprintln(w)
+	}
+
+	latest := cols[len(cols)-1]
+	if len(latest.report.Separations) > 0 {
+		fmt.Fprintf(w, "\n## Separation verdicts — %s\n\n", latest.label)
+		fmt.Fprintln(w, "| family | kkt | baseline | slope gap | welch t | df | separated |")
+		fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+		for _, s := range latest.report.Separations {
+			verdict := "no"
+			if s.Separated {
+				verdict = "**yes**"
+			}
+			fmt.Fprintf(w, "| %s | %s | %s | %.3f | %.2f | %.1f | %s |\n",
+				s.Family, s.KKT, s.Baseline, s.Gap, s.WelchT, s.DF, verdict)
+		}
+	}
+
+	fmt.Fprintf(w, "\n## Rung costs — %s (mean messages per rung)\n", latest.label)
+	for _, cc := range latest.report.Cells {
+		fmt.Fprintf(w, "\n### %s/%s\n\n", cc.Family, cc.Algo)
+		fmt.Fprintln(w, "| n | m | messages | bits |")
+		fmt.Fprintln(w, "|---|---|---|---|")
+		for _, r := range cc.Rungs {
+			var m, msgs, bits float64
+			count := 0
+			for _, p := range r.Points {
+				if p.Error != "" {
+					continue
+				}
+				m += float64(p.M)
+				msgs += float64(p.Messages)
+				bits += float64(p.Bits)
+				count++
+			}
+			if count == 0 {
+				fmt.Fprintf(w, "| %d | — | all trials failed | |\n", r.N)
+				continue
+			}
+			n := float64(count)
+			fmt.Fprintf(w, "| %d | %.0f | %.0f | %.0f |\n", r.N, m/n, msgs/n, bits/n)
+		}
+	}
+}
+
+// writeScalingCSV renders the long-form table: one row per (report, cell,
+// rung, seed) point, ready for plotting tools.
+func writeScalingCSV(w io.Writer, cols []scalingColumn) {
+	fmt.Fprintln(w, "artifact,density,family,algo,n,seed,m,messages,bits,time,valid,msg_slope,msg_ci_lo,msg_ci_hi")
+	for _, c := range cols {
+		for _, cc := range c.report.Cells {
+			f := cc.Fits.Messages
+			for _, r := range cc.Rungs {
+				for _, p := range r.Points {
+					fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%t,%g,%g,%g\n",
+						c.label, c.report.Density, cc.Family, cc.Algo, r.N,
+						p.Seed, p.M, p.Messages, p.Bits, p.Time, p.Valid,
+						f.Slope, f.CILo, f.CIHi)
+				}
+			}
+		}
+	}
+}

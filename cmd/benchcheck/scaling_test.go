@@ -1,0 +1,127 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleScaling mirrors the kkt/scaling/v1 shape internal/scaling
+// marshals; only the fields the trajectory reads are populated.
+const sampleScaling = `{
+  "schema": "kkt/scaling/v1",
+  "seed": 1,
+  "seeds": 2,
+  "density": "quad",
+  "ladder": [64, 128],
+  "cells": [
+    {
+      "family": "gnm",
+      "algo": "mst-build",
+      "rungs": [
+        {"n": 64, "points": [
+          {"seed": 11, "m": 512, "messages": 4800, "bits": 930000, "time": 500, "valid": true},
+          {"seed": 12, "m": 512, "messages": 6100, "bits": 1200000, "time": 740, "valid": true}
+        ]},
+        {"n": 128, "points": [
+          {"seed": 13, "m": 2048, "messages": 12000, "bits": 2500000, "time": 900, "valid": true},
+          {"seed": 14, "m": 2048, "messages": 13000, "bits": 2700000, "time": 950, "valid": true}
+        ]}
+      ],
+      "fits": {
+        "messages": {"slope": 0.631, "intercept": 2.1, "r2": 0.98, "per_seed": [0.62, 0.64], "seed_mean": 0.63, "ci_lo": 0.58, "ci_hi": 0.68},
+        "bits": {"slope": 0.69, "intercept": 5.0, "r2": 0.97, "per_seed": [0.68, 0.70], "seed_mean": 0.69, "ci_lo": 0.64, "ci_hi": 0.74}
+      }
+    },
+    {
+      "family": "gnm",
+      "algo": "ghs",
+      "rungs": [
+        {"n": 64, "points": [
+          {"seed": 21, "m": 512, "messages": 9000, "bits": 400000, "time": 300, "valid": true},
+          {"seed": 22, "m": 512, "messages": 9100, "bits": 410000, "time": 310, "valid": true}
+        ]},
+        {"n": 128, "points": [
+          {"seed": 23, "m": 2048, "messages": 34000, "bits": 1500000, "time": 400, "valid": true},
+          {"seed": 24, "m": 2048, "messages": 34500, "bits": 1510000, "time": 410, "valid": true}
+        ]}
+      ],
+      "fits": {
+        "messages": {"slope": 0.952, "intercept": 1.2, "r2": 0.999, "per_seed": [0.95, 0.96], "seed_mean": 0.955, "ci_lo": 0.93, "ci_hi": 0.98},
+        "bits": {"slope": 0.96, "intercept": 2.2, "r2": 0.999, "per_seed": [0.95, 0.97], "seed_mean": 0.96, "ci_lo": 0.93, "ci_hi": 0.99}
+      }
+    }
+  ],
+  "separations": [
+    {"family": "gnm", "metric": "messages", "kkt": "mst-build", "baseline": "ghs",
+     "gap": 0.325, "welch_t": 12.4, "df": 1.9, "separated": true}
+  ]
+}`
+
+func TestScalingMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "SCALING_abc123.json", sampleScaling)
+	// Second column: the KKT exponent drifted up — the table must show it.
+	b := writeReport(t, dir, "SCALING_def456.json",
+		strings.Replace(sampleScaling, `"slope": 0.631`, `"slope": 0.701`, 1))
+	cols, err := loadScaling([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	writeScalingMarkdown(&buf, cols)
+	out := buf.String()
+	for _, want := range []string{
+		"| family/algo | SCALING_abc123 | SCALING_def456 |",
+		"| gnm/mst-build | 0.631 [0.580, 0.680] | 0.701 [0.580, 0.680] |",
+		"| gnm/ghs | 0.952 [0.930, 0.980] | 0.952 [0.930, 0.980] |",
+		// Separations and rung tables come from the newest column only.
+		"## Separation verdicts — SCALING_def456",
+		"| gnm | mst-build | ghs | 0.325 | 12.40 | 1.9 | **yes** |",
+		"## Rung costs — SCALING_def456",
+		"### gnm/mst-build",
+		"| 64 | 512 | 5450 | 1065000 |",
+		"| 128 | 2048 | 12500 | 2600000 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalingCSV(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "SCALING_abc123.json", sampleScaling)
+	cols, err := loadScaling([]string{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	writeScalingCSV(&buf, cols)
+	out := buf.String()
+	for _, want := range []string{
+		"artifact,density,family,algo,n,seed,m,messages,bits,time,valid,msg_slope,msg_ci_lo,msg_ci_hi",
+		"SCALING_abc123,quad,gnm,mst-build,64,11,512,4800,930000,500,true,0.631,0.58,0.68",
+		"SCALING_abc123,quad,gnm,ghs,128,24,2048,34500,1510000,410,true,0.952,0.93,0.98",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalingRejectsForeignSchema(t *testing.T) {
+	dir := t.TempDir()
+	p := writeReport(t, dir, "junk.json", `{"schema": "kkt/bench/v1"}`)
+	if _, err := loadScaling([]string{p}); err == nil {
+		t.Error("bench schema accepted as a scaling report")
+	}
+	// And the real artifact round-trips.
+	q := writeReport(t, dir, "SCALING_ok.json", sampleScaling)
+	cols, err := loadScaling([]string{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || len(cols[0].report.Cells) != 2 {
+		t.Errorf("decoded %d columns / %d cells, want 1 / 2", len(cols), len(cols[0].report.Cells))
+	}
+}

@@ -11,6 +11,9 @@
 //	kkt bench [--filter SUBSTR] [--exclude SUBSTRS] [--trials N] [--seed S]
 //	          [--workers W] [--shards S] [--json] [--out FILE] [--quiet]
 //	          [--timeout D] [--obs-listen ADDR] [--obs-hold]
+//	kkt scaling [--families LIST] [--algos LIST] [--ladder LO:HI:RUNGS|N,N,...]
+//	            [--seeds N] [--seed S] [--density const|sqrt|quad] [--workers W]
+//	            [--shards S] [--timeout D] [--json] [--out FILE] [--quiet]
 //	kkt serve [graph flags | --trace FILE] [--events N] [--epoch-events N]
 //	          [--churn PLAN] [--checkpoint FILE] [--resume] [--obs-listen ADDR]
 //	kkt trace [graph flags] --churn PLAN [--events N] [--out FILE]
@@ -58,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdRun(args[1:], stdout, stderr)
 	case "bench":
 		err = cmdBench(args[1:], stdout, stderr)
+	case "scaling":
+		err = cmdScaling(args[1:], stdout, stderr)
 	case "serve":
 		err = cmdServe(args[1:], stdout, stderr)
 	case "trace":
@@ -109,12 +114,13 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `kkt — experiment harness for the KKT'15 CONGEST algorithms
 
 Commands:
-  list   show the registered scenarios
-  run    run one scenario and print its metrics
-  bench  run the suite and write a BENCH_*.json report
-  serve  run the topology-maintenance daemon over an update stream
-  trace  compile a fault plan into a replayable trace file
-  ws     subscribe to a serve daemon's WebSocket push stream
+  list     show the registered scenarios
+  run      run one scenario and print its metrics
+  bench    run the suite and write a BENCH_*.json report
+  scaling  sweep size ladders and fit cost-vs-m exponents (the o(m) gate)
+  serve    run the topology-maintenance daemon over an update stream
+  trace    compile a fault plan into a replayable trace file
+  ws       subscribe to a serve daemon's WebSocket push stream
 
 Run 'kkt <command> -h' for command flags.
 `)

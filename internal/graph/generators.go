@@ -2,6 +2,8 @@ package graph
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -281,6 +283,190 @@ func PreferentialAttachment(r *rng.RNG, n, deg int, u uint64, w WeightFunc) *Gra
 		}
 	}
 	return g
+}
+
+// Hypercube returns the d-dimensional hypercube on n = 2^d nodes: node
+// v (0-based v-1) links to every single-bit flip of itself, giving exactly
+// n·d/2 edges. The edge count grows as (n/2)·log₂ n — a superlinear
+// density ladder built into the family itself, which is what makes it a
+// natural axis for the o(m) scaling sweep. Fully deterministic: the only
+// randomness is the caller's weight function.
+func Hypercube(d int, u uint64, w WeightFunc) *Graph {
+	if d < 1 {
+		panic("graph: hypercube needs dimension >= 1")
+	}
+	n := 1 << d
+	g := MustNew(n, u)
+	k := 0
+	// Canonical edge order: ascending lower endpoint, then ascending bit.
+	// Every edge is emitted once, from its smaller endpoint.
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			peer := v ^ (1 << b)
+			if peer > v {
+				g.MustAddEdge(uint32(v+1), uint32(peer+1), w(k))
+				k++
+			}
+		}
+	}
+	return g
+}
+
+// HypercubeN is Hypercube keyed by node count; n must be a power of two.
+func HypercubeN(n int, u uint64, w WeightFunc) *Graph {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("graph: hypercube needs a power-of-two node count, got %d", n))
+	}
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return Hypercube(d, u, w)
+}
+
+// RandomGeometric returns a random geometric graph conditioned on
+// connectivity: n points drawn uniformly in the unit square, an edge
+// between every pair within the given radius, plus random stitch edges
+// joining any leftover components. With radius ~ sqrt(log n / n) the
+// expected edge count grows as n·log n.
+func RandomGeometric(r *rng.RNG, n int, radius float64, u uint64, w WeightFunc) *Graph {
+	return RandomGeometricWorkers(r, n, radius, u, w, 1)
+}
+
+// rggParallelMin is the smallest node count worth fanning the pair checks
+// out to workers.
+const rggParallelMin = 2048
+
+// RandomGeometricWorkers is RandomGeometric with the radius checks spread
+// over parallel workers; the output is byte-identical at any worker count.
+//
+// How the equivalence works: the point set is one sequential stream of 2n
+// uniform draws, fixed before any worker starts. The edge set is then a
+// pure function of the points — each worker scans a contiguous range of
+// lower endpoints a against the bucket grid and collects {a,b} pairs in
+// (a ascending, b ascending) order into its own slice, so concatenating
+// the per-worker slices in range order reproduces the sequential scan's
+// edge order exactly. Weights are drawn sequentially in that order after
+// the join, and connectivity stitching reuses the same seeded path as GNP.
+func RandomGeometricWorkers(r *rng.RNG, n int, radius float64, u uint64, w WeightFunc, workers int) *Graph {
+	if n < 1 {
+		panic("graph: geometric needs n >= 1")
+	}
+	if radius <= 0 || radius > 1.5 {
+		panic(fmt.Sprintf("graph: geometric radius %v outside (0, 1.5]", radius))
+	}
+	g := MustNew(n, u)
+	xs := make([]float64, n+1)
+	ys := make([]float64, n+1)
+	for v := 1; v <= n; v++ {
+		xs[v] = r.Float64()
+		ys[v] = r.Float64()
+	}
+	// Bucket grid with cell side >= radius: all neighbours of a point lie
+	// in its own or the eight surrounding cells.
+	side := int(1 / radius)
+	if side < 1 {
+		side = 1
+	}
+	cell := func(v int) (int, int) {
+		cx := int(xs[v] * float64(side))
+		cy := int(ys[v] * float64(side))
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		return cx, cy
+	}
+	buckets := make([][]int32, side*side)
+	for v := 1; v <= n; v++ {
+		cx, cy := cell(v)
+		buckets[cy*side+cx] = append(buckets[cy*side+cx], int32(v))
+	}
+	rad2 := radius * radius
+	// collect gathers the within-radius pairs {a,b} with a in [lo, hi],
+	// b > a, in (a asc, b asc) order.
+	collect := func(lo, hi int) [][2]uint32 {
+		var out [][2]uint32
+		var cand []int32
+		for a := lo; a <= hi; a++ {
+			cx, cy := cell(a)
+			cand = cand[:0]
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := cx+dx, cy+dy
+					if nx < 0 || nx >= side || ny < 0 || ny >= side {
+						continue
+					}
+					for _, b := range buckets[ny*side+nx] {
+						if int(b) <= a {
+							continue
+						}
+						ddx := xs[a] - xs[b]
+						ddy := ys[a] - ys[b]
+						if ddx*ddx+ddy*ddy <= rad2 {
+							cand = append(cand, b)
+						}
+					}
+				}
+			}
+			sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+			for _, b := range cand {
+				out = append(out, [2]uint32{uint32(a), uint32(b)})
+			}
+		}
+		return out
+	}
+	var pairs [][2]uint32
+	if workers > 1 && n >= rggParallelMin {
+		chunks := make([][][2]uint32, workers)
+		var wg sync.WaitGroup
+		per := (n + workers - 1) / workers
+		for wi := 0; wi < workers; wi++ {
+			lo := 1 + wi*per
+			hi := lo + per - 1
+			if hi > n {
+				hi = n
+			}
+			if lo > n {
+				break
+			}
+			wg.Add(1)
+			go func(wi, lo, hi int) {
+				defer wg.Done()
+				chunks[wi] = collect(lo, hi)
+			}(wi, lo, hi)
+		}
+		wg.Wait()
+		for _, c := range chunks {
+			pairs = append(pairs, c...)
+		}
+	} else {
+		pairs = collect(1, n)
+	}
+	k := 0
+	for _, p := range pairs {
+		g.MustAddEdge(p[0], p[1], w(k))
+		k++
+	}
+	stitchConnected(r, g, w, &k, workers)
+	return g
+}
+
+// GeometricRadius is the default connectivity-scaled radius for
+// RandomGeometric: sqrt(3·ln n / (π·n)), giving expected degree ~3·ln n —
+// comfortably above the sharp connectivity threshold ln n/π, with the
+// edge count growing as ~1.5·n·ln n.
+func GeometricRadius(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	r := math.Sqrt(3 * math.Log(float64(n)) / (math.Pi * float64(n)))
+	if r > 1 {
+		r = 1
+	}
+	return r
 }
 
 // Expander returns a ring plus chords from (deg-2)/2 independent random

@@ -233,6 +233,164 @@ func TestGNMFingerprintPinned(t *testing.T) {
 	}
 }
 
+// TestHypercube: exact shape — n·d/2 edges, degree d everywhere,
+// connected, valid.
+func TestHypercube(t *testing.T) {
+	for _, d := range []int{1, 2, 4, 6} {
+		g := Hypercube(d, 10, UnitWeights())
+		n := 1 << d
+		if g.N != n {
+			t.Fatalf("d=%d: %d nodes, want %d", d, g.N, n)
+		}
+		if g.M() != n*d/2 {
+			t.Fatalf("d=%d: %d edges, want n·d/2 = %d", d, g.M(), n*d/2)
+		}
+		for v := uint32(1); v <= uint32(n); v++ {
+			if g.Degree(v) != d {
+				t.Fatalf("d=%d: degree of %d is %d, want %d", d, v, g.Degree(v), d)
+			}
+		}
+		if !isConnected(g) {
+			t.Fatalf("d=%d: hypercube disconnected", d)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHypercubeN(t *testing.T) {
+	g := HypercubeN(64, 10, UnitWeights())
+	if g.N != 64 || g.M() != 64*6/2 {
+		t.Fatalf("HypercubeN(64): n=%d m=%d", g.N, g.M())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("HypercubeN with a non-power-of-two should panic")
+		}
+	}()
+	HypercubeN(48, 10, UnitWeights())
+}
+
+// TestHypercubeFingerprintPinned pins the deterministic edge order and a
+// seeded weight stream outright, so the generator's exact output — which
+// seeds every hypercube scenario — cannot drift silently.
+func TestHypercubeFingerprintPinned(t *testing.T) {
+	g := Hypercube(6, 1000, UniformWeights(rng.New(43), 1000))
+	const want uint64 = 0x109cd44b625096b6
+	if got := fingerprint(g); got != want {
+		t.Fatalf("Hypercube(6) fingerprint %#x, want %#x — the generator's output changed", got, want)
+	}
+}
+
+// TestRandomGeometric: the stitched graph is connected and valid, the
+// radius controls density, and the default radius yields the expected
+// ~1.5·n·ln n edge-count regime.
+func TestRandomGeometric(t *testing.T) {
+	r := rng.New(9)
+	n := 500
+	rad := GeometricRadius(n)
+	g := RandomGeometric(r, n, rad, 100, UniformWeights(rng.New(10), 100))
+	if !isConnected(g) {
+		t.Fatal("geometric graph disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected m ~ 1.5·n·ln n ≈ 4660 at n=500; allow a wide band.
+	if g.M() < n || g.M() > 8*n*7 {
+		t.Fatalf("geometric edge count %d outside the expected regime", g.M())
+	}
+	// Geometry sanity: every generated edge spans at most the radius —
+	// except stitch edges, so check a denser un-stitched regime instead.
+	big := RandomGeometric(rng.New(3), 300, 0.25, 100, UniformWeights(rng.New(4), 100))
+	if !isConnected(big) {
+		t.Fatal("dense geometric graph disconnected")
+	}
+}
+
+// TestRandomGeometricWorkersByteIdentical: the parallel pair scan emits
+// the same edges in the same order at any worker count, and the RNG
+// stream ends at the same position. n exceeds rggParallelMin so the
+// fan-out genuinely runs.
+func TestRandomGeometricWorkersByteIdentical(t *testing.T) {
+	const n = 3000
+	rad := GeometricRadius(n)
+	gen := func(workers int) (*Graph, uint64) {
+		r := rng.New(21)
+		g := RandomGeometricWorkers(r, n, rad, 1000, UniformWeights(rng.New(22), 1000), workers)
+		return g, r.Uint64()
+	}
+	want, wantNext := gen(1)
+	if err := want.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		got, gotNext := gen(workers)
+		if fingerprint(got) != fingerprint(want) {
+			t.Fatalf("workers=%d: geometric graph diverges from sequential", workers)
+		}
+		if gotNext != wantNext {
+			t.Errorf("workers=%d: RNG stream diverged after generation", workers)
+		}
+	}
+}
+
+// TestGeometricFingerprintPinned pins one seeded geometric output.
+func TestGeometricFingerprintPinned(t *testing.T) {
+	g := RandomGeometric(rng.New(21), 400, GeometricRadius(400), 1000, UniformWeights(rng.New(22), 1000))
+	const want uint64 = 0xe632100b25379850
+	if got := fingerprint(g); got != want {
+		t.Fatalf("RandomGeometric(21, 400) fingerprint %#x, want %#x — the generator's output changed", got, want)
+	}
+}
+
+// TestPowerLawFingerprintPinned pins one seeded preferential-attachment
+// output, now that the generator backs a harness family.
+func TestPowerLawFingerprintPinned(t *testing.T) {
+	g := PreferentialAttachment(rng.New(31), 400, 3, 1000, UniformWeights(rng.New(32), 1000))
+	const want uint64 = 0x1d17162dd170f8c0
+	if got := fingerprint(g); got != want {
+		t.Fatalf("PreferentialAttachment(31, 400, 3) fingerprint %#x, want %#x — the generator's output changed", got, want)
+	}
+}
+
+// TestPowerLawTailHeavierThanGNM: the degree distribution sanity check
+// behind the powerlaw family — at matched n and near-matched m, the
+// preferential-attachment maximum degree dwarfs GNM's, and the heavy tail
+// (degree ≥ 4× the mean) holds a disproportionate share of endpoints.
+func TestPowerLawTailHeavierThanGNM(t *testing.T) {
+	const n = 2000
+	pa := PreferentialAttachment(rng.New(5), n, 3, 100, UniformWeights(rng.New(6), 100))
+	gn := GNM(rng.New(5), n, pa.M(), 100, UniformWeights(rng.New(6), 100))
+	maxDeg := func(g *Graph) int {
+		best := 0
+		for v := uint32(1); v <= uint32(g.N); v++ {
+			if d := g.Degree(v); d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	paMax, gnMax := maxDeg(pa), maxDeg(gn)
+	if paMax < 2*gnMax {
+		t.Fatalf("power-law max degree %d not clearly above GNM's %d", paMax, gnMax)
+	}
+	tailCut := 4 * 2 * pa.M() / n // 4× the mean degree
+	tail := func(g *Graph) int {
+		c := 0
+		for v := uint32(1); v <= uint32(g.N); v++ {
+			if g.Degree(v) >= tailCut {
+				c++
+			}
+		}
+		return c
+	}
+	if paTail, gnTail := tail(pa), tail(gn); paTail <= gnTail {
+		t.Fatalf("power-law tail (deg >= %d): %d nodes, GNM: %d — tail not heavier", tailCut, paTail, gnTail)
+	}
+}
+
 // TestComponentsWorkersMatch: the parallel union-find labelling agrees
 // with the sequential one on a graph large enough to cross ufParallelMin
 // (so the CAS path really runs, including under -race).

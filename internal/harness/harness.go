@@ -5,16 +5,20 @@ import (
 	"math"
 
 	"kkt/internal/faultplan"
+	"kkt/internal/graph"
 )
 
 // Graph family names understood by Spec.Family.
 const (
-	FamilyGNM      = "gnm"      // connected Erdős–Rényi G(n,m), m = 3n by default
-	FamilyRing     = "ring"     // the n-cycle: constant degree, linear diameter
-	FamilyGrid     = "grid"     // √n × √n grid
-	FamilyExpander = "expander" // ring + random chords: constant degree, log diameter
-	FamilyComplete = "complete" // K_n: the dense extreme
-	FamilyTree     = "tree"     // uniformly random tree: m = n-1, no slack
+	FamilyGNM       = "gnm"       // connected Erdős–Rényi G(n,m), m = 3n by default
+	FamilyRing      = "ring"      // the n-cycle: constant degree, linear diameter
+	FamilyGrid      = "grid"      // √n × √n grid
+	FamilyExpander  = "expander"  // ring + random chords: constant degree, log diameter
+	FamilyComplete  = "complete"  // K_n: the dense extreme
+	FamilyTree      = "tree"      // uniformly random tree: m = n-1, no slack
+	FamilyPowerLaw  = "powerlaw"  // preferential attachment: heavy-tailed degrees
+	FamilyGeometric = "geometric" // random geometric in the unit square, m ~ n log n
+	FamilyHypercube = "hypercube" // d-dimensional hypercube: n = 2^d, m = n·d/2
 )
 
 // Scheduler names understood by Spec.Sched.
@@ -67,12 +71,16 @@ type Spec struct {
 
 	// Family and N pick the topology; MaxRaw bounds raw edge weights
 	// (default 1024). M (gnm only) overrides the edge count, default 3n.
-	// Degree (expander only) sets the target degree, default 4.
-	Family string `json:"family"`
-	N      int    `json:"n"`
-	MaxRaw uint64 `json:"max_raw,omitempty"`
-	M      int    `json:"m,omitempty"`
-	Degree int    `json:"degree,omitempty"`
+	// Degree sets the target degree of the expander (default 4) and the
+	// attachment count of the powerlaw family (default 3). Radius
+	// (geometric only) sets the connection radius in the unit square,
+	// default graph.GeometricRadius(n) ~ sqrt(3·ln n / (π·n)).
+	Family string  `json:"family"`
+	N      int     `json:"n"`
+	MaxRaw uint64  `json:"max_raw,omitempty"`
+	M      int     `json:"m,omitempty"`
+	Degree int     `json:"degree,omitempty"`
+	Radius float64 `json:"radius,omitempty"`
 
 	// Sched picks the timing model; MaxDelay (async only) bounds the
 	// per-message delay, default 4.
@@ -107,6 +115,12 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Family == FamilyExpander && s.Degree == 0 {
 		s.Degree = 4
+	}
+	if s.Family == FamilyPowerLaw && s.Degree == 0 {
+		s.Degree = 3
+	}
+	if s.Family == FamilyGeometric && s.Radius == 0 {
+		s.Radius = graph.GeometricRadius(s.N)
 	}
 	if s.Sched == SchedAsync && s.MaxDelay == 0 {
 		s.MaxDelay = 4
@@ -146,6 +160,21 @@ func (s Spec) Validate() error {
 		}
 		if s.Degree < 4 || s.Degree%2 != 0 {
 			return fmt.Errorf("harness: %s: expander degree %d, want even and >= 4", s.Name, s.Degree)
+		}
+	case FamilyPowerLaw:
+		if s.N < 2 {
+			return fmt.Errorf("harness: %s: powerlaw needs n >= 2", s.Name)
+		}
+		if s.Degree < 1 {
+			return fmt.Errorf("harness: %s: powerlaw degree %d, want >= 1", s.Name, s.Degree)
+		}
+	case FamilyGeometric:
+		if s.Radius <= 0 || s.Radius > 1.5 {
+			return fmt.Errorf("harness: %s: geometric radius %v outside (0, 1.5]", s.Name, s.Radius)
+		}
+	case FamilyHypercube:
+		if s.N&(s.N-1) != 0 {
+			return fmt.Errorf("harness: %s: hypercube needs a power-of-two n, got %d", s.Name, s.N)
 		}
 	case FamilyComplete, FamilyTree:
 	default:

@@ -38,6 +38,13 @@ type TrialMetrics struct {
 	// per-trial figure (later trials reusing warmed allocations report ~0).
 	HeapSysMB uint64 `json:"-"`
 
+	// GraphEdges is the edge count m of the *generated* topology the trial
+	// started from — the x-axis of the o(m) scaling sweeps. For repair
+	// scenarios this is the pre-storm graph, not the mutated final
+	// topology. Seed-determined (byte-identical at any shard/worker
+	// count), so it serializes.
+	GraphEdges int `json:"graph_edges,omitempty"`
+
 	// Messages/Bits are the congest counters over the measured section
 	// (the whole run for builds; the fault script for repairs — forest
 	// setup is free). Time is rounds (sync) or virtual time (async).

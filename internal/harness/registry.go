@@ -81,6 +81,14 @@ func (r *Registry) Match(substr string) []Spec {
 // smallest edit distance (bounded at one third of the query length, so
 // wildly different names suggest nothing).
 func (r *Registry) Suggest(name string) []string {
+	return SuggestNames(r.Names(), name)
+}
+
+// SuggestNames is the registry's "did you mean" heuristic over an
+// arbitrary vocabulary, for CLI word lists (families, algorithms, knobs):
+// up to three entries of vocab close to the unknown name, substring
+// matches first, then smallest edit distance.
+func SuggestNames(vocab []string, name string) []string {
 	type cand struct {
 		name string
 		dist int
@@ -90,7 +98,7 @@ func (r *Registry) Suggest(name string) []string {
 	if maxDist < 2 {
 		maxDist = 2
 	}
-	for _, n := range r.Names() {
+	for _, n := range vocab {
 		if strings.Contains(n, name) || strings.Contains(name, n) {
 			cands = append(cands, cand{n, 0})
 			continue

@@ -247,6 +247,35 @@ func Builtin() *Registry {
 		Algo:  AlgoMSTBuildAdaptive,
 	})
 
+	// --- Scaling-sweep families (powerlaw / geometric / hypercube) ---
+	// The degree-skewed and density-growing topologies the `kkt scaling`
+	// sweep ladders over, each pinned here at a mid size so the full
+	// protocol stack exercises them (and validates the MSF) on every bench
+	// run. The sketch/FindAny machinery is most stressed exactly where
+	// degree distributions are skewed (powerlaw hubs) or density grows
+	// with n (hypercube's m = n·log₂n/2).
+	reg.MustRegister(Spec{
+		Name:        "mst-build/powerlaw-2k/sync",
+		Description: "Build MST (adaptive) on a preferential-attachment graph at 2k nodes: heavy-tailed degrees",
+		Family:      FamilyPowerLaw, N: 2000,
+		Sched: SchedSync,
+		Algo:  AlgoMSTBuildAdaptive,
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-build/geometric-2k/sync",
+		Description: "Build MST (adaptive) on a random geometric graph at 2k nodes: m ~ n log n, high clustering",
+		Family:      FamilyGeometric, N: 2000,
+		Sched: SchedSync,
+		Algo:  AlgoMSTBuildAdaptive,
+	})
+	reg.MustRegister(Spec{
+		Name:        "mst-build/hypercube-4k/sync",
+		Description: "Build MST (adaptive) on the 12-dimensional hypercube: 4096 nodes, 24576 edges",
+		Family:      FamilyHypercube, N: 4096,
+		Sched: SchedSync,
+		Algo:  AlgoMSTBuildAdaptive,
+	})
+
 	// --- Baseline comparators ---
 	reg.MustRegister(Spec{
 		Name:        "ghs/gnm/sync",

@@ -58,6 +58,16 @@ func buildGraph(s Spec, r *rng.RNG, workers int) *graph.Graph {
 		return graph.Complete(s.N, s.MaxRaw, w)
 	case FamilyTree:
 		return graph.RandomTree(r, s.N, s.MaxRaw, w)
+	case FamilyPowerLaw:
+		// Sequential by construction (each attachment depends on the
+		// degrees the previous ones produced), so worker-count identity is
+		// trivial.
+		return graph.PreferentialAttachment(r, s.N, s.Degree, s.MaxRaw, w)
+	case FamilyGeometric:
+		return graph.RandomGeometricWorkers(r, s.N, s.Radius, s.MaxRaw, w, workers)
+	case FamilyHypercube:
+		// Deterministic shape; only the weight stream is seeded.
+		return graph.HypercubeN(s.N, s.MaxRaw, w)
 	default:
 		panic(fmt.Sprintf("harness: unknown family %q", s.Family))
 	}
@@ -142,7 +152,7 @@ func RunTrialContext(ctx context.Context, spec Spec, seed uint64, shards int, dr
 	// Record the shard count the engine actually runs on (the partition
 	// clamps to the node count), never the requested one: a fallback must
 	// be visible to callers, not silently reported away.
-	m = TrialMetrics{Seed: seed, Shards: nw.Lanes()}
+	m = TrialMetrics{Seed: seed, Shards: nw.Lanes(), GraphEdges: g.M()}
 	switch s.Algo {
 	case AlgoMSTBuildAdaptive, AlgoMSTBuildFixed:
 		cfg := mst.DefaultBuild(seed)
@@ -270,7 +280,7 @@ func captureFootprint(m *TrialMetrics, nw *congest.Network, heapBefore uint64) {
 // precondition), then applies the fault script in seeded random order and
 // meters only the repair traffic.
 func runRepairStorm(s Spec, nw *congest.Network, pr *tree.Protocol, g *graph.Graph, r *rng.RNG, seed uint64, shards int, weighted bool, heapBefore uint64) (TrialMetrics, map[string]congest.KindCount, error) {
-	m := TrialMetrics{Seed: seed, Shards: nw.Lanes(), Actions: make(map[string]int)}
+	m := TrialMetrics{Seed: seed, Shards: nw.Lanes(), GraphEdges: g.M(), Actions: make(map[string]int)}
 
 	var refForest []int
 	if weighted {

@@ -1,0 +1,185 @@
+// Package scaling runs empirical o(m) verification sweeps: size ladders
+// per (graph family × algorithm) cell, log-log curve fits of the measured
+// costs against the edge count m, and a one-sided Welch test separating
+// the fitted KKT exponent from the Θ(m)-bound baselines.
+package scaling
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitLogLog fits ln y = intercept + slope·ln x by ordinary least squares
+// and reports the fit's R². Degenerate inputs are rejected with an error:
+// mismatched lengths, fewer than two points, fewer than two distinct x
+// values (a single rung fits no slope), or nonpositive coordinates (the
+// log-log transform is undefined there).
+func FitLogLog(xs, ys []float64) (slope, intercept, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, fmt.Errorf("scaling: fit: %d x values vs %d y values", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("scaling: fit: %d points, want >= 2 (a single rung fits no slope)", len(xs))
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	distinct := false
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("scaling: fit: point (%v, %v) not strictly positive", xs[i], ys[i])
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+		if xs[i] != xs[0] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		return 0, 0, 0, fmt.Errorf("scaling: fit: all %d points share x=%v (need >= 2 distinct sizes)", len(xs), xs[0])
+	}
+	n := float64(len(lx))
+	var mx, my float64
+	for i := range lx {
+		mx += lx[i]
+		my += ly[i]
+	}
+	mx /= n
+	my /= n
+	var sxx, sxy, syy float64
+	for i := range lx {
+		dx, dy := lx[i]-mx, ly[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		// Constant y: the zero slope fits exactly, residuals vanish.
+		r2 = 1
+	} else {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return slope, intercept, r2, nil
+}
+
+// MeanCI95 returns the sample mean of vals with its two-sided 95%
+// Student-t confidence interval. At least two samples are required — a
+// single slope has no spread to estimate. Zero-variance samples yield a
+// zero-width interval, not an error.
+func MeanCI95(vals []float64) (mean, lo, hi float64, err error) {
+	if len(vals) < 2 {
+		return 0, 0, 0, fmt.Errorf("scaling: ci: %d samples, want >= 2", len(vals))
+	}
+	mean, variance := meanVar(vals)
+	se := math.Sqrt(variance / float64(len(vals)))
+	h := tCrit(t975, float64(len(vals)-1)) * se
+	return mean, mean - h, mean + h, nil
+}
+
+// WelchOneSided computes the one-sided Welch t statistic and its
+// Welch–Satterthwaite degrees of freedom for the hypothesis
+// mean(hi) > mean(lo). Both samples need at least two values. When both
+// samples have zero variance the statistic degenerates to ±Inf (or 0 on a
+// zero gap): the gap is then exact rather than estimated, which still
+// clears (or fails) any finite critical value.
+func WelchOneSided(hi, lo []float64) (t, df float64, err error) {
+	if len(hi) < 2 || len(lo) < 2 {
+		return 0, 0, fmt.Errorf("scaling: welch: samples of %d and %d values, want >= 2 each", len(hi), len(lo))
+	}
+	m1, v1 := meanVar(hi)
+	m2, v2 := meanVar(lo)
+	n1, n2 := float64(len(hi)), float64(len(lo))
+	a, b := v1/n1, v2/n2
+	gap := m1 - m2
+	if a+b == 0 {
+		df = n1 + n2 - 2
+		switch {
+		case gap > 0:
+			return math.Inf(1), df, nil
+		case gap < 0:
+			return math.Inf(-1), df, nil
+		}
+		return 0, df, nil
+	}
+	t = gap / math.Sqrt(a+b)
+	df = (a + b) * (a + b) / (a*a/(n1-1) + b*b/(n2-1))
+	return t, df, nil
+}
+
+// Separated reports whether the one-sided Welch statistic clears the 95%
+// critical value at the given degrees of freedom.
+func Separated(t, df float64) bool { return t > tCrit(t95, df) }
+
+// meanVar returns the sample mean and (n-1)-normalized variance.
+func meanVar(vals []float64) (mean, variance float64) {
+	n := float64(len(vals))
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= n
+	if len(vals) < 2 {
+		return mean, 0
+	}
+	for _, v := range vals {
+		d := v - mean
+		variance += d * d
+	}
+	return mean, variance / (n - 1)
+}
+
+// tTable is a pinned Student-t quantile table: rows index df 1..30, tail
+// holds asymptotic steps beyond, inf is the normal-limit value. Tables
+// instead of an incomplete-beta implementation: sweeps only ever need the
+// 95% decision threshold, and a pinned table is trivially deterministic.
+type tTable struct {
+	rows []float64
+	tail []struct {
+		maxDF float64
+		crit  float64
+	}
+	inf float64
+}
+
+var (
+	// 0.975 quantile — two-sided 95% confidence intervals.
+	t975 = tTable{
+		rows: []float64{
+			12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+			2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+			2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+		},
+		tail: []struct{ maxDF, crit float64 }{{40, 2.021}, {60, 2.000}, {120, 1.980}},
+		inf:  1.960,
+	}
+
+	// 0.95 quantile — one-sided 95% tests.
+	t95 = tTable{
+		rows: []float64{
+			6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+			1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+			1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+		},
+		tail: []struct{ maxDF, crit float64 }{{40, 1.684}, {60, 1.671}, {120, 1.658}},
+		inf:  1.645,
+	}
+)
+
+// tCrit looks up the critical value for (possibly fractional) degrees of
+// freedom. Fractional df floors to the next-lower table row — the
+// conservative direction, since smaller df means a larger critical value.
+func tCrit(table tTable, df float64) float64 {
+	d := int(df)
+	if d < 1 {
+		d = 1
+	}
+	if d <= len(table.rows) {
+		return table.rows[d-1]
+	}
+	for _, s := range table.tail {
+		if df <= s.maxDF {
+			return s.crit
+		}
+	}
+	return table.inf
+}

@@ -1,0 +1,168 @@
+package scaling
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// ladder builds synthetic (x, y) points from a cost law over a geometric
+// size ladder.
+func ladder(f func(x float64) float64) (xs, ys []float64) {
+	for x := 128.0; x <= 1<<20; x *= 4 {
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+	}
+	return
+}
+
+func TestFitLogLogKnownSlopes(t *testing.T) {
+	cases := []struct {
+		name   string
+		f      func(x float64) float64
+		lo, hi float64
+	}{
+		{"linear", func(x float64) float64 { return 5 * x }, 0.999, 1.001},
+		{"nlogn", func(x float64) float64 { return x * math.Log(x) }, 1.0, 1.25},
+		{"sqrt", func(x float64) float64 { return 2 * math.Sqrt(x) }, 0.499, 0.501},
+		{"quadratic", func(x float64) float64 { return x * x / 8 }, 1.999, 2.001},
+	}
+	for _, tc := range cases {
+		xs, ys := ladder(tc.f)
+		slope, _, r2, err := FitLogLog(xs, ys)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if slope <= tc.lo || slope >= tc.hi {
+			t.Errorf("%s: slope %.4f outside (%.3f, %.3f)", tc.name, slope, tc.lo, tc.hi)
+		}
+		if r2 < 0.99 {
+			t.Errorf("%s: r2=%.4f, want >= 0.99 on a clean synthetic ladder", tc.name, r2)
+		}
+	}
+	// A pure power law must recover the intercept too: y = 3·x^1.5.
+	xs, ys := ladder(func(x float64) float64 { return 3 * math.Pow(x, 1.5) })
+	slope, intercept, _, err := FitLogLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-1.5) > 1e-9 || math.Abs(intercept-math.Log(3)) > 1e-9 {
+		t.Errorf("power law: slope=%v intercept=%v, want 1.5 and ln 3", slope, intercept)
+	}
+}
+
+func TestFitLogLogDegenerate(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+		want   string
+	}{
+		{"mismatched", []float64{1, 2}, []float64{1}, "x values"},
+		{"empty", nil, nil, "want >= 2"},
+		{"single point", []float64{100}, []float64{42}, "single rung"},
+		{"single rung", []float64{100, 100, 100}, []float64{41, 42, 43}, "distinct sizes"},
+		{"zero x", []float64{0, 100}, []float64{1, 2}, "not strictly positive"},
+		{"negative y", []float64{10, 100}, []float64{-1, 2}, "not strictly positive"},
+	}
+	for _, tc := range cases {
+		_, _, _, err := FitLogLog(tc.xs, tc.ys)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	// Known case: n=3, df=2, t=4.303. Sample {1, 2, 3}: mean 2, sd 1,
+	// se 1/√3, half-width 4.303/√3 ≈ 2.4843.
+	mean, lo, hi, err := MeanCI95([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 2 {
+		t.Errorf("mean=%v, want 2", mean)
+	}
+	h := 4.303 / math.Sqrt(3)
+	if math.Abs((hi-lo)/2-h) > 1e-9 || math.Abs((hi+lo)/2-2) > 1e-9 {
+		t.Errorf("ci=[%v, %v], want half-width %v around 2", lo, hi, h)
+	}
+
+	// Zero variance: zero-width interval, not an error.
+	mean, lo, hi, err = MeanCI95([]float64{7, 7, 7, 7})
+	if err != nil || mean != 7 || lo != 7 || hi != 7 {
+		t.Errorf("zero variance: mean=%v ci=[%v, %v] err=%v, want exactly 7", mean, lo, hi, err)
+	}
+
+	// A single sample has no spread to estimate.
+	if _, _, _, err := MeanCI95([]float64{1}); err == nil {
+		t.Error("single sample: no error")
+	}
+}
+
+func TestWelchOneSided(t *testing.T) {
+	// Clearly separated samples must clear the 95% critical value.
+	tt, df, err := WelchOneSided([]float64{1.00, 1.01, 0.99}, []float64{0.60, 0.62, 0.61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Separated(tt, df) {
+		t.Errorf("t=%v df=%v: expected separation on a 0.4 gap with tiny variance", tt, df)
+	}
+
+	// Overlapping samples must not.
+	tt, df, err = WelchOneSided([]float64{0.9, 1.1, 1.0}, []float64{0.95, 1.05, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Separated(tt, df) {
+		t.Errorf("t=%v df=%v: unexpected separation on overlapping samples", tt, df)
+	}
+
+	// Wrong direction: the statistic goes negative and never separates.
+	tt, _, err = WelchOneSided([]float64{0.5, 0.51}, []float64{1.0, 1.01})
+	if err != nil || tt >= 0 {
+		t.Errorf("reversed gap: t=%v err=%v, want negative", tt, err)
+	}
+
+	// Zero variance on both sides degenerates to ±Inf on a nonzero gap —
+	// an exact separation — and 0 on a zero gap.
+	tt, df, err = WelchOneSided([]float64{2, 2}, []float64{1, 1})
+	if err != nil || !math.IsInf(tt, 1) || !Separated(tt, df) {
+		t.Errorf("zero variance, positive gap: t=%v df=%v err=%v, want +Inf separated", tt, df, err)
+	}
+	tt, _, err = WelchOneSided([]float64{1, 1}, []float64{1, 1})
+	if err != nil || tt != 0 {
+		t.Errorf("zero variance, zero gap: t=%v err=%v, want 0", tt, err)
+	}
+
+	// Undersized samples are rejected.
+	if _, _, err := WelchOneSided([]float64{1}, []float64{2, 3}); err == nil {
+		t.Error("single-value sample: no error")
+	}
+}
+
+func TestTCrit(t *testing.T) {
+	cases := []struct {
+		table tTable
+		df    float64
+		want  float64
+	}{
+		{t975, 1, 12.706},
+		{t975, 2.9, 4.303}, // fractional df floors conservatively
+		{t975, 30, 2.042},
+		{t975, 35, 2.021},
+		{t975, 1e6, 1.960},
+		{t95, 4, 2.132},
+		{t95, 100, 1.658},
+		{t95, 1e6, 1.645},
+	}
+	for _, tc := range cases {
+		if got := tCrit(tc.table, tc.df); got != tc.want {
+			t.Errorf("tCrit(df=%v) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+}
